@@ -1,0 +1,190 @@
+//! Julienne's fixed-window bucketing strategy.
+//!
+//! Every `b` rounds the structure scans the overflow list once and
+//! materializes the next `b` frontiers into single-key buckets; vertices
+//! with keys beyond the window stay in overflow (the paper's description
+//! of Julienne, Sec. 5.1). `DecreaseKey` inserts the vertex into the
+//! in-window bucket for its new key. Per-vertex cost is
+//! `O(d(v)/b + b)`, minimized at `b = Θ(sqrt(d_avg))`; Julienne fixes
+//! `b = 16`.
+//!
+//! Duplicate-freedom argument: a vertex enters bucket `key` only when its
+//! induced degree becomes exactly `key` (degrees decrease monotonically
+//! and atomic decrements return distinct values, so each `(v, key)` pair
+//! occurs at most once), or once per window rebuild. Stale copies — the
+//! vertex peeled earlier or moved lower — are filtered at extraction by
+//! re-reading the live key.
+
+use crate::{BucketStructure, DegreeView};
+use crossbeam::queue::SegQueue;
+use kcore_parallel::primitives::pack;
+
+/// Fixed window of `b` single-key buckets plus an overflow list.
+pub struct FixedBuckets {
+    /// Base key of the current window: bucket `i` holds key `base + i`.
+    base: u32,
+    /// Whether the window has been materialized for the current base.
+    built: bool,
+    buckets: Vec<SegQueue<u32>>,
+    overflow: Vec<u32>,
+    b: u32,
+}
+
+impl FixedBuckets {
+    /// Creates the structure with window width `b` over all vertices.
+    pub fn new(degrees: &[u32], b: u32) -> Self {
+        assert!(b >= 1, "window width must be at least 1");
+        Self {
+            base: 0,
+            built: false,
+            buckets: (0..b).map(|_| SegQueue::new()).collect(),
+            overflow: (0..degrees.len() as u32).collect(),
+            b,
+        }
+    }
+
+    /// Scans overflow and distributes the window `[base, base + b)`.
+    fn rebuild(&mut self, view: &dyn DegreeView) {
+        let base = self.base;
+        let b = self.b;
+        // Keep only live out-of-window vertices in overflow; in-window
+        // ones move to their key's bucket.
+        let keep = pack(&self.overflow, |&v| view.alive(v) && view.key(v) >= base + b);
+        for &v in &self.overflow {
+            if view.alive(v) {
+                let key = view.key(v);
+                if key >= base && key < base + b {
+                    self.buckets[(key - base) as usize].push(v);
+                }
+            }
+        }
+        self.overflow = keep;
+        self.built = true;
+    }
+}
+
+impl BucketStructure for FixedBuckets {
+    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32> {
+        if !self.built || k >= self.base + self.b {
+            self.base = k;
+            self.rebuild(view);
+        }
+        debug_assert!(k >= self.base && k < self.base + self.b);
+        let q = &self.buckets[(k - self.base) as usize];
+        let mut frontier = Vec::with_capacity(q.len());
+        while let Some(v) = q.pop() {
+            // Stale copies (peeled, or moved to a lower key and peeled
+            // there) fail the filter and are dropped.
+            if view.alive(v) && view.key(v) == k {
+                frontier.push(v);
+            }
+        }
+        frontier
+    }
+
+    fn on_decrease(&self, v: u32, new_key: u32, _k: u32) {
+        // Only in-window keys are tracked eagerly; out-of-window keys
+        // are rediscovered from overflow at the next rebuild.
+        if new_key >= self.base && new_key < self.base + self.b {
+            self.buckets[(new_key - self.base) as usize].push(v);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-buckets"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_static_schedule, TestView};
+
+    #[test]
+    fn static_schedule_small_window() {
+        let keys = vec![3, 0, 1, 1, 2, 5, 0, 3, 40, 17, 16, 15];
+        let mut s = FixedBuckets::new(&keys, 4);
+        run_static_schedule(&mut s, &keys);
+    }
+
+    #[test]
+    fn static_schedule_julienne_width() {
+        let keys: Vec<u32> = (0..200).map(|i| (i * 7) % 64).collect();
+        let mut s = FixedBuckets::new(&keys, 16);
+        run_static_schedule(&mut s, &keys);
+    }
+
+    #[test]
+    fn decrease_into_window_is_tracked() {
+        let keys = vec![10, 2, 30];
+        let view = TestView::new(&keys);
+        let mut s = FixedBuckets::new(&keys, 16);
+        // Round 0 builds window [0, 16): vertex 1 (key 2) in bucket 2,
+        // vertex 0 (key 10) in bucket 10, vertex 2 in overflow.
+        assert!(s.next_frontier(0, &view).is_empty());
+        assert!(s.next_frontier(1, &view).is_empty());
+        assert_eq!(s.next_frontier(2, &view), vec![1]);
+        view.kill(1);
+        // Vertex 2's key drops from 30 into the window during round 2.
+        view.set_key(2, 5);
+        s.on_decrease(2, 5, 2);
+        assert!(s.next_frontier(3, &view).is_empty());
+        assert!(s.next_frontier(4, &view).is_empty());
+        assert_eq!(s.next_frontier(5, &view), vec![2]);
+        view.kill(2);
+        // Vertex 0 still surfaces at its key.
+        for k in 6..10 {
+            assert!(s.next_frontier(k, &view).is_empty());
+        }
+        assert_eq!(s.next_frontier(10, &view), vec![0]);
+    }
+
+    #[test]
+    fn multi_step_decrease_leaves_no_ghosts() {
+        let keys = vec![12];
+        let view = TestView::new(&keys);
+        let mut s = FixedBuckets::new(&keys, 16);
+        assert!(s.next_frontier(0, &view).is_empty());
+        // Key walks down 12 -> 9 -> 7 -> 4 during round 0's peel.
+        for nk in [9, 7, 4] {
+            view.set_key(0, nk);
+            s.on_decrease(0, nk, 0);
+        }
+        for k in 1..4 {
+            assert!(s.next_frontier(k, &view).is_empty(), "ghost at {k}");
+        }
+        assert_eq!(s.next_frontier(4, &view), vec![0]);
+        view.kill(0);
+        // Stale copies at 7, 9, 12 must be filtered.
+        for k in 5..=12 {
+            assert!(s.next_frontier(k, &view).is_empty(), "stale ghost at {k}");
+        }
+    }
+
+    #[test]
+    fn window_rebuild_picks_up_overflow_decreases() {
+        // Key decreases while still beyond the window; the rebuild at
+        // k = b must find the new value.
+        let keys = vec![100];
+        let view = TestView::new(&keys);
+        let mut s = FixedBuckets::new(&keys, 16);
+        assert!(s.next_frontier(0, &view).is_empty());
+        view.set_key(0, 20); // drops but stays out of [0, 16)
+        s.on_decrease(0, 20, 0);
+        for k in 1..16 {
+            assert!(s.next_frontier(k, &view).is_empty());
+        }
+        // New window [16, 32) must place it at 20.
+        for k in 16..20 {
+            assert!(s.next_frontier(k, &view).is_empty());
+        }
+        assert_eq!(s.next_frontier(20, &view), vec![0]);
+    }
+
+    #[test]
+    fn width_one_degenerates_to_single_bucket_behavior() {
+        let keys = vec![2, 0, 1];
+        let mut s = FixedBuckets::new(&keys, 1);
+        run_static_schedule(&mut s, &keys);
+    }
+}

@@ -1,0 +1,107 @@
+//! The no-bucket strategy: the plain framework of Alg. 1.
+//!
+//! Keeps the active set as a flat array. Each round packs the frontier
+//! (`key == k`) out of it and compacts away peeled vertices. The total
+//! cost over all rounds is `Σ|A_i| = O(n + m)` (Thm. 3.1) — work-optimal
+//! but with one full active-set scan per round, which is what HBS
+//! improves on dense graphs.
+
+use crate::{BucketStructure, DegreeView};
+use kcore_parallel::primitives::pack;
+
+/// Flat active-array frontier source.
+pub struct SingleBucket {
+    active: Vec<u32>,
+}
+
+impl SingleBucket {
+    /// Builds the structure over all vertices with the given initial
+    /// keys (only the count matters; keys are re-read via the view).
+    pub fn new(degrees: &[u32]) -> Self {
+        Self {
+            active: (0..degrees.len() as u32).collect(),
+        }
+    }
+
+    /// Rebuilds from an explicit active list (used by the adaptive
+    /// strategy when switching representations).
+    pub fn from_active(active: Vec<u32>) -> Self {
+        Self { active }
+    }
+
+    /// Remaining active vertices (diagnostic; exact after each round).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Hands the current active set over (used when the adaptive
+    /// strategy upgrades to HBS).
+    pub fn take_active(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.active)
+    }
+}
+
+impl BucketStructure for SingleBucket {
+    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32> {
+        // Refine A (drop everything peeled in earlier rounds), then pack
+        // the frontier. Both are O(|A|), matching Thm. 3.1's assumption.
+        self.active = pack(&self.active, |&v| view.alive(v) && view.key(v) >= k);
+        pack(&self.active, |&v| view.key(v) == k)
+    }
+
+    fn on_decrease(&self, _v: u32, _new_key: u32, _k: u32) {
+        // Nothing to maintain: frontiers are recomputed by scanning.
+    }
+
+    fn name(&self) -> &'static str {
+        "1-bucket"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_static_schedule, TestView};
+
+    #[test]
+    fn static_schedule_surfaces_everyone_once() {
+        let keys = vec![3, 0, 1, 1, 2, 5, 0, 3];
+        let mut s = SingleBucket::new(&keys);
+        run_static_schedule(&mut s, &keys);
+    }
+
+    #[test]
+    fn active_set_shrinks_monotonically() {
+        let keys = vec![0, 1, 2, 3, 4];
+        let view = TestView::new(&keys);
+        let mut s = SingleBucket::new(&keys);
+        for k in 0..=4u32 {
+            let f = s.next_frontier(k, &view);
+            assert_eq!(f, vec![k]);
+            view.kill(k);
+        }
+        let f = s.next_frontier(5, &view);
+        assert!(f.is_empty());
+        assert_eq!(s.active_len(), 0);
+    }
+
+    #[test]
+    fn decreased_keys_are_picked_up_by_scan() {
+        let keys = vec![5, 5, 5];
+        let view = TestView::new(&keys);
+        let mut s = SingleBucket::new(&keys);
+        assert!(s.next_frontier(0, &view).is_empty());
+        // Vertex 1's key drops to 2 during some round.
+        view.set_key(1, 2);
+        s.on_decrease(1, 2, 0); // no-op for this strategy
+        assert!(s.next_frontier(1, &view).is_empty());
+        assert_eq!(s.next_frontier(2, &view), vec![1]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut s = SingleBucket::new(&[]);
+        let view = TestView::new(&[]);
+        assert!(s.next_frontier(0, &view).is_empty());
+    }
+}

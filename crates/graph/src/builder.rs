@@ -1,0 +1,175 @@
+//! Edge-list to CSR construction.
+//!
+//! [`GraphBuilder`] accepts arbitrary (possibly directed, duplicated,
+//! self-looping) edge lists and produces a clean undirected [`CsrGraph`]:
+//! every input edge is symmetrized, self-loops are dropped, and parallel
+//! edges are deduplicated. The build is a parallel sort over arcs followed
+//! by a single CSR fill pass.
+
+use crate::csr::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Builder turning edge lists into a [`CsrGraph`].
+///
+/// ```
+/// use kcore_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 0), (1, 2), (2, 2), (2, 3)]) // dup, loop
+///     .build();
+/// assert_eq!(g.num_edges(), 3); // {0,1}, {1,2}, {2,3}
+/// ```
+pub struct GraphBuilder {
+    n: usize,
+    arcs: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= VertexId::MAX as usize,
+            "vertex count {n} exceeds the u32 id space"
+        );
+        Self { n, arcs: Vec::new() }
+    }
+
+    /// Adds a single undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Adds a batch of undirected edges.
+    pub fn edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.push_edge(u, v);
+        }
+        self
+    }
+
+    /// In-place variant of [`GraphBuilder::edge`] for loop-heavy callers.
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        self.arcs.push((u, v));
+    }
+
+    /// Number of raw (pre-dedup) edges added so far.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Finalizes the graph: symmetrize, drop self-loops, deduplicate,
+    /// and pack into CSR.
+    pub fn build(self) -> CsrGraph {
+        let n = self.n;
+        // Symmetrize: each undirected edge becomes two arcs.
+        let mut arcs = Vec::with_capacity(self.arcs.len() * 2);
+        for &(u, v) in &self.arcs {
+            if u != v {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        build_from_arcs(n, arcs)
+    }
+}
+
+/// Builds a CSR graph from a symmetric arc list (both directions already
+/// present, no self-loops). Sorts, dedups, and fills offsets.
+pub(crate) fn build_from_arcs(n: usize, mut arcs: Vec<(VertexId, VertexId)>) -> CsrGraph {
+    arcs.par_sort_unstable();
+    arcs.dedup();
+
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _) in &arcs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let edges: Vec<VertexId> = arcs.into_iter().map(|(_, v)| v).collect();
+    CsrGraph::from_parts_unchecked(offsets, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_symmetrizes() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        g.validate();
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1), (1, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        g.validate();
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let g = GraphBuilder::new(5).edge(0, 4).build();
+        for v in 1..4 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        g.validate();
+    }
+
+    #[test]
+    fn build_empty_graph_with_vertices() {
+        let g = GraphBuilder::new(10).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 0);
+        g.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        GraphBuilder::new(2).edge(0, 2);
+    }
+
+    #[test]
+    fn large_random_build_is_valid() {
+        // Cheap pseudo-random edges (LCG) without pulling in rand here.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let n = 1000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..5000 {
+            b.push_edge(next() % n, next() % n);
+        }
+        let g = b.build();
+        g.validate();
+        assert!(g.num_edges() > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Lattice-like generators: grids, cubes, meshes, and road networks.
+//!
+//! These are the paper's sparse, high-peeling-complexity families. A
+//! `√n × √n` grid is the adversarial example for offline peeling (it
+//! incurs `O(√n)` subrounds, Sec. 1), meshes model the TRCE/BBL
+//! simulation frames, and perturbed grids stand in for OSM road networks.
+
+use crate::builder::build_from_arcs;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `rows x cols` 2-D grid with 4-neighbor connectivity (the paper's GRID).
+///
+/// Every interior vertex has degree 4; the whole graph is a 2-core once
+/// the boundary peels inward, so `k_max = 2` and the peeling complexity
+/// is `Θ(rows + cols)`.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut arcs = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = id(r, c);
+            if c + 1 < cols {
+                arcs.push((v, id(r, c + 1)));
+                arcs.push((id(r, c + 1), v));
+            }
+            if r + 1 < rows {
+                arcs.push((v, id(r + 1, c)));
+                arcs.push((id(r + 1, c), v));
+            }
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// `x × y × z` 3-D grid with 6-neighbor connectivity (the paper's CUBE).
+///
+/// `k_max = 3`: the interior survives peeling until every vertex has at
+/// most 3 remaining neighbors.
+pub fn grid3d(x: usize, y: usize, z: usize) -> CsrGraph {
+    let n = x * y * z;
+    let id = |i: usize, j: usize, k: usize| (i * y * z + j * z + k) as VertexId;
+    let mut arcs = Vec::with_capacity(6 * n);
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                let v = id(i, j, k);
+                if i + 1 < x {
+                    arcs.push((v, id(i + 1, j, k)));
+                    arcs.push((id(i + 1, j, k), v));
+                }
+                if j + 1 < y {
+                    arcs.push((v, id(i, j + 1, k)));
+                    arcs.push((id(i, j + 1, k), v));
+                }
+                if k + 1 < z {
+                    arcs.push((v, id(i, j, k + 1)));
+                    arcs.push((id(i, j, k + 1), v));
+                }
+            }
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Triangulated `rows × cols` mesh: a 2-D grid plus one diagonal per cell.
+///
+/// Models the TRCE / BBL graphs (meshes from 2-D adaptive numerical
+/// simulations): low degree, low `k_max` (3), and a very large number of
+/// peeling subrounds — the family where VGC shines.
+pub fn mesh(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut arcs = Vec::with_capacity(6 * n);
+    let mut push = |a: VertexId, b: VertexId| {
+        arcs.push((a, b));
+        arcs.push((b, a));
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                push(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                push(id(r, c), id(r + 1, c));
+            }
+            // Alternate diagonal orientation per cell for an irregular,
+            // simulation-like triangulation.
+            if r + 1 < rows && c + 1 < cols {
+                if (r + c) % 2 == 0 {
+                    push(id(r, c), id(r + 1, c + 1));
+                } else {
+                    push(id(r, c + 1), id(r + 1, c));
+                }
+            }
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Road-network-like graph: a 2-D grid with randomly deleted street
+/// segments and occasional diagonal shortcuts.
+///
+/// Stands in for the OSM road graphs (AF, NA, AS, EU): average degree
+/// ~2.5, `k_max` 3–4, long shallow peeling chains. `drop_prob` removes
+/// each grid edge independently; `diag_prob` adds a diagonal per cell.
+pub fn road(rows: usize, cols: usize, drop_prob: f64, diag_prob: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0, 1)");
+    assert!((0.0..=1.0).contains(&diag_prob), "diag_prob must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut arcs = Vec::with_capacity(4 * n);
+    let push = |arcs: &mut Vec<(VertexId, VertexId)>, a: VertexId, b: VertexId| {
+        arcs.push((a, b));
+        arcs.push((b, a));
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && !rng.gen_bool(drop_prob) {
+                push(&mut arcs, id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && !rng.gen_bool(drop_prob) {
+                push(&mut arcs, id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen_bool(diag_prob) {
+                push(&mut arcs, id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(5, 7);
+        assert_eq!(g.num_vertices(), 35);
+        // Edge count: horizontal 5*(7-1) + vertical (5-1)*7 = 30 + 28.
+        assert_eq!(g.num_edges(), 58);
+        // Corner degree 2, edge degree 3, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(8), 4); // (1, 1)
+        assert_eq!(g.max_degree(), 4);
+        g.validate();
+    }
+
+    #[test]
+    fn grid2d_degenerate_sizes() {
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+        let line = grid2d(1, 5);
+        assert_eq!(line.num_edges(), 4);
+        assert_eq!(line.max_degree(), 2);
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let g = grid3d(3, 4, 5);
+        assert_eq!(g.num_vertices(), 60);
+        // 2*4*5 + 3*3*5 + 3*4*4 = 40 + 45 + 48.
+        assert_eq!(g.num_edges(), 133);
+        assert_eq!(g.max_degree(), 6);
+        g.validate();
+    }
+
+    #[test]
+    fn mesh_adds_one_diagonal_per_cell() {
+        let g = mesh(4, 4);
+        let grid_edges = 4 * 3 * 2;
+        let cells = 3 * 3;
+        assert_eq!(g.num_edges(), grid_edges + cells);
+        g.validate();
+    }
+
+    #[test]
+    fn road_is_sparser_than_its_grid() {
+        let g = road(30, 30, 0.2, 0.05, 7);
+        let full = grid2d(30, 30);
+        assert!(g.num_edges() < full.num_edges());
+        assert!(g.avg_degree() < 4.0);
+        g.validate();
+    }
+
+    #[test]
+    fn road_is_deterministic_per_seed() {
+        let a = road(20, 20, 0.15, 0.1, 42);
+        let b = road(20, 20, 0.15, 0.1, 42);
+        let c = road(20, 20, 0.15, 0.1, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's adversarial high-coreness graph (HCNS).
+//!
+//! Sec. 6.1.1: *“HCNS is a synthetic graph with a high `k_max`. It
+//! contains exactly one vertex with coreness i for 1 <= i < k_max, and a
+//! dense subgraph with coreness k_max.”* This is the stress test for
+//! bucketing structures (Fig. 8: HBS is 47.8x faster than 1-bucket on
+//! HCNS) and the one graph where sampling adds overhead without benefit.
+
+use crate::builder::build_from_arcs;
+use crate::csr::{CsrGraph, VertexId};
+
+/// HCNS construction with maximum coreness `kmax`.
+///
+/// Layout: vertices `0..=kmax` form a `(kmax + 1)`-clique (coreness
+/// `kmax`); for every `i` in `1..kmax` a chain vertex `kmax + i` connects
+/// to the first `i` clique members, giving it coreness exactly `i`
+/// (degree `i`, with all neighbors of higher coreness).
+///
+/// Total: `n = 2 * kmax`, undirected edges
+/// `kmax * (kmax + 1) / 2 + kmax * (kmax - 1) / 2 = kmax^2`.
+/// Peeling removes exactly one vertex per round for `kmax - 1` rounds —
+/// maximal round count relative to `n`, just like the paper's version.
+pub fn hcns(kmax: usize) -> CsrGraph {
+    assert!(kmax >= 2, "kmax must be at least 2");
+    let clique = kmax + 1;
+    let n = clique + (kmax - 1);
+    let mut arcs: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * kmax * kmax);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            arcs.push((u as VertexId, v as VertexId));
+            arcs.push((v as VertexId, u as VertexId));
+        }
+    }
+    for i in 1..kmax {
+        let chain = (clique + i - 1) as VertexId;
+        for t in 0..i {
+            arcs.push((chain, t as VertexId));
+            arcs.push((t as VertexId, chain));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcns_shape() {
+        let kmax = 10;
+        let g = hcns(kmax);
+        assert_eq!(g.num_vertices(), 2 * kmax);
+        assert_eq!(g.num_edges(), kmax * kmax);
+        g.validate();
+    }
+
+    #[test]
+    fn chain_vertices_have_degree_i() {
+        let kmax = 8;
+        let g = hcns(kmax);
+        for i in 1..kmax {
+            let chain = (kmax + 1 + i - 1) as VertexId;
+            assert_eq!(g.degree(chain), i, "chain vertex for coreness {i}");
+        }
+    }
+
+    #[test]
+    fn clique_members_see_every_other_member() {
+        let kmax = 6;
+        let g = hcns(kmax);
+        for u in 0..=(kmax as VertexId) {
+            for v in 0..=(kmax as VertexId) {
+                if u != v {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

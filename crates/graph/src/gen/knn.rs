@@ -1,0 +1,159 @@
+//! k-nearest-neighbor graph generator.
+//!
+//! The paper's k-NN graphs (CH5, GL2/5/10, COS5) are built from
+//! real-world vector datasets: each point gets directed edges to its `k`
+//! nearest neighbors, then the graph is symmetrized. This generator
+//! reproduces the construction over uniform random 2-D points — the
+//! structural properties that matter for peeling (small constant degree,
+//! near-uniform coreness equal to ~k, tiny peeling complexity ρ) are
+//! identical.
+
+use crate::builder::build_from_arcs;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact k-NN graph over `n` uniform random points in the unit square.
+///
+/// Each point is connected (directed, then symmetrized) to its `k`
+/// nearest neighbors by Euclidean distance. Uses a uniform grid index so
+/// construction is near-linear for uniform data rather than `O(n^2)`.
+pub fn knn(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && k < n, "require 1 <= k < n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    // Grid with ~1 expected point per cell keeps ring searches tiny.
+    let side = (n as f64).sqrt().ceil() as usize;
+    let side = side.max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * side as f64) as usize).min(side - 1);
+        let cy = ((p.1 * side as f64) as usize).min(side - 1);
+        (cx, cy)
+    };
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); side * side];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        cells[cy * side + cx].push(i as u32);
+    }
+
+    let dist2 = |a: (f64, f64), b: (f64, f64)| {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        dx * dx + dy * dy
+    };
+
+    let mut arcs: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n * k);
+    // (distance^2, id) max-heap of current k best, as a small sorted vec.
+    let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+    for (i, &p) in pts.iter().enumerate() {
+        best.clear();
+        let (cx, cy) = cell_of(p);
+        let mut ring = 0usize;
+        loop {
+            // Scan the cells whose Chebyshev distance from (cx, cy) is
+            // exactly `ring`.
+            let x0 = cx.saturating_sub(ring);
+            let x1 = (cx + ring).min(side - 1);
+            let y0 = cy.saturating_sub(ring);
+            let y1 = (cy + ring).min(side - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    // Only cells at exact Chebyshev distance `ring`; the
+                    // clamped bounds would otherwise re-scan border cells.
+                    if cx.abs_diff(x).max(cy.abs_diff(y)) != ring {
+                        continue;
+                    }
+                    for &j in &cells[y * side + x] {
+                        if j as usize == i {
+                            continue;
+                        }
+                        let d = dist2(p, pts[j as usize]);
+                        let pos = best.partition_point(|&(bd, _)| bd < d);
+                        if pos < k {
+                            best.insert(pos, (d, j));
+                            best.truncate(k);
+                        }
+                    }
+                }
+            }
+            // Stop once the k-th best distance is closer than the nearest
+            // unscanned ring (points beyond it cannot improve the result).
+            if best.len() == k {
+                let ring_dist = ring as f64 / side as f64;
+                if best[k - 1].0 <= ring_dist * ring_dist {
+                    break;
+                }
+            }
+            if x0 == 0 && y0 == 0 && x1 == side - 1 && y1 == side - 1 {
+                break; // scanned everything
+            }
+            ring += 1;
+        }
+        for &(_, j) in &best {
+            arcs.push((i as VertexId, j));
+            arcs.push((j, i as VertexId));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force k-NN for cross-checking the grid-indexed version.
+    fn knn_brute(n: usize, k: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        (0..n)
+            .map(|i| {
+                let mut ds: Vec<(f64, u32)> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| {
+                        let dx = pts[i].0 - pts[j].0;
+                        let dy = pts[i].1 - pts[j].1;
+                        (dx * dx + dy * dy, j as u32)
+                    })
+                    .collect();
+                ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                ds.truncate(k);
+                let mut ids: Vec<u32> = ds.into_iter().map(|(_, j)| j).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (n, k, seed) = (200, 3, 13);
+        let g = knn(n, k, seed);
+        let brute = knn_brute(n, k, seed);
+        // The undirected graph must contain every directed k-NN arc.
+        for (i, nbrs) in brute.iter().enumerate() {
+            for &j in nbrs {
+                assert!(
+                    g.has_edge(i as u32, j),
+                    "missing k-NN edge {i} -> {j}"
+                );
+            }
+        }
+        g.validate();
+    }
+
+    #[test]
+    fn knn_degree_bounds() {
+        let (n, k) = (500, 5);
+        let g = knn(n, k, 99);
+        // Out-degree is exactly k, so total degree is at least k and the
+        // arc count is at most 2 * n * k.
+        assert!(g.vertices().all(|v| g.degree(v) >= k));
+        assert!(g.num_arcs() <= 2 * n * k);
+    }
+
+    #[test]
+    fn knn_deterministic_per_seed() {
+        assert_eq!(knn(150, 4, 5), knn(150, 4, 5));
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic graph generators.
+//!
+//! One generator per graph family in the paper's evaluation (Sec. 6.1.1):
+//!
+//! | family (paper graphs) | generator |
+//! |---|---|
+//! | 2-D grid (GRID) | [`grid2d`] |
+//! | 3-D cube (CUBE) | [`grid3d`] |
+//! | triangulated meshes (TRCE, BBL) | [`mesh`] |
+//! | road networks (AF, NA, AS, EU) | [`road`] |
+//! | social networks (LJ, OK, WB, TW, FS) | [`rmat`] |
+//! | power-law / HPL | [`barabasi_albert`] |
+//! | web graphs with high `k_max` (EH, SD, CW, HL) | [`planted_core`] |
+//! | k-NN graphs (CH5, GL2/5/10, COS5) | [`knn`] |
+//! | adversarial high-coreness (HCNS) | [`hcns`] |
+//!
+//! Plus small structural graphs used throughout the test suites
+//! ([`complete`], [`path`], [`cycle`], [`star`], [`complete_bipartite`],
+//! [`erdos_renyi`]).
+//!
+//! All randomized generators take an explicit `seed` and are fully
+//! deterministic for a given seed.
+
+mod grid;
+mod hcns;
+mod knn;
+mod powerlaw;
+mod random;
+
+pub use grid::{grid2d, grid3d, mesh, road};
+pub use hcns::hcns;
+pub use knn::knn;
+pub use powerlaw::{barabasi_albert, planted_core, rmat};
+pub use random::{complete, complete_bipartite, cycle, erdos_renyi, path, star};

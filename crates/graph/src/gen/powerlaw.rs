@@ -1,0 +1,186 @@
+//! Power-law generators: RMAT, Barabási–Albert, and planted-core graphs.
+//!
+//! These model the dense families of the paper's evaluation — social
+//! networks (LJ, OK, WB, TW, FS), web graphs (EH, SD, CW, HL), and the
+//! synthetic HPL graph. The defining property for k-core performance is
+//! the presence of very-high-degree hub vertices, which cause contention
+//! in online peeling and trigger the sampling scheme.
+
+use crate::builder::build_from_arcs;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Recursive-matrix (RMAT) graph, the standard social-network generator.
+///
+/// Generates `n = 2^scale` vertices and `edge_factor * n` undirected
+/// edges by recursively descending a 2×2 probability matrix
+/// `(a, b, c, 1 - a - b - c)`. With the Graph500 parameters
+/// `a = 0.57, b = c = 0.19` the result is a heavy-tailed degree
+/// distribution with hubs — the LJ / OK / WB analog.
+///
+/// Duplicates and self-loops produced by the process are dropped, so the
+/// final edge count is slightly below `edge_factor * n`.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
+    assert!(scale <= 28, "scale {scale} too large for laptop-scale graphs");
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "invalid RMAT probabilities");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arcs = Vec::with_capacity(2 * m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            arcs.push((u as VertexId, v as VertexId));
+            arcs.push((v as VertexId, u as VertexId));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Barabási–Albert preferential-attachment graph (the paper's HPL).
+///
+/// Starts from a clique on `attach + 1` vertices; each subsequent vertex
+/// connects to `attach` existing vertices chosen proportionally to their
+/// current degree (implemented with the standard repeated-endpoint trick:
+/// sampling a uniform endpoint from the arc list is exactly
+/// degree-proportional sampling).
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
+    assert!(attach >= 1, "attach must be at least 1");
+    assert!(n > attach, "n must exceed attach + 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // endpoints holds every arc endpoint ever created; uniform sampling
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * attach);
+    let mut arcs: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n * attach);
+    let seed_size = attach + 1;
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            arcs.push((u as VertexId, v as VertexId));
+            arcs.push((v as VertexId, u as VertexId));
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+    let mut targets = Vec::with_capacity(attach);
+    for v in seed_size..n {
+        targets.clear();
+        // Rejection-sample distinct targets; attach is small so this is fast.
+        while targets.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            arcs.push((v as VertexId, t));
+            arcs.push((t, v as VertexId));
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Power-law graph with a planted dense core: the web-graph analog
+/// (EH / SD / CW / HL), whose defining feature is a large `k_max`.
+///
+/// Takes a Barabási–Albert base graph on `n` vertices and overlays a
+/// clique on `core_size` randomly chosen vertices. The clique guarantees
+/// `k_max >= core_size - 1` while the base supplies the heavy-tailed
+/// periphery, reproducing both the bucket pressure (many rounds at high
+/// k) and the hub contention of real web graphs.
+pub fn planted_core(n: usize, attach: usize, core_size: usize, seed: u64) -> CsrGraph {
+    assert!(core_size >= 2 && core_size <= n, "core_size out of range");
+    let base = barabasi_albert(n, attach, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    // Choose core members by reservoir-free partial shuffle.
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in 0..core_size {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    let core = &ids[..core_size];
+    let mut arcs: Vec<(VertexId, VertexId)> =
+        Vec::with_capacity(base.num_arcs() + core_size * core_size);
+    for u in base.vertices() {
+        for &v in base.neighbors(u) {
+            arcs.push((u, v));
+        }
+    }
+    for i in 0..core_size {
+        for j in (i + 1)..core_size {
+            arcs.push((core[i], core[j]));
+            arcs.push((core[j], core[i]));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_size_and_validity() {
+        let g = rmat(10, 8, 0.57, 0.19, 0.19, 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates drop some edges but most survive.
+        assert!(g.num_edges() > 4 * 1024);
+        assert!(g.num_edges() <= 8 * 1024);
+        g.validate();
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 16, 0.57, 0.19, 0.19, 7);
+        // Heavy tail: the max degree is far above the average.
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn rmat_deterministic_per_seed() {
+        assert_eq!(rmat(8, 4, 0.57, 0.19, 0.19, 3), rmat(8, 4, 0.57, 0.19, 0.19, 3));
+        assert_ne!(rmat(8, 4, 0.57, 0.19, 0.19, 3), rmat(8, 4, 0.57, 0.19, 0.19, 4));
+    }
+
+    #[test]
+    fn ba_edge_count_is_exact() {
+        let (n, attach) = (500, 3);
+        let g = barabasi_albert(n, attach, 11);
+        let seed_edges = (attach + 1) * attach / 2;
+        assert_eq!(g.num_edges(), seed_edges + (n - attach - 1) * attach);
+        // Minimum degree is `attach`.
+        assert!(g.vertices().all(|v| g.degree(v) >= attach));
+        g.validate();
+    }
+
+    #[test]
+    fn ba_hubs_emerge() {
+        let g = barabasi_albert(2000, 2, 5);
+        assert!(g.max_degree() > 20, "max degree {} too small", g.max_degree());
+    }
+
+    #[test]
+    fn planted_core_contains_its_clique() {
+        let g = planted_core(300, 2, 30, 9);
+        // The densest part must have degree at least core_size - 1.
+        assert!(g.max_degree() >= 29);
+        g.validate();
+    }
+}

@@ -1,0 +1,140 @@
+//! Elementary generators: random and structured graphs used across the
+//! test suites and as building blocks for larger workloads.
+
+use crate::builder::build_from_arcs;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)` graph: `m` undirected edges sampled uniformly
+/// (without self-loops; duplicates are removed, so the final count can be
+/// slightly below `m`).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arcs = Vec::with_capacity(2 * m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let mut v = rng.gen_range(0..n) as VertexId;
+        while v == u {
+            v = rng.gen_range(0..n) as VertexId;
+        }
+        arcs.push((u, v));
+        arcs.push((v, u));
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Complete graph `K_n` (coreness `n - 1` everywhere).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut arcs = Vec::with_capacity(n * n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            arcs.push((u as VertexId, v as VertexId));
+            arcs.push((v as VertexId, u as VertexId));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Path graph `P_n` (coreness 1 everywhere for `n >= 2`).
+pub fn path(n: usize) -> CsrGraph {
+    let mut arcs = Vec::with_capacity(2 * n);
+    for v in 1..n {
+        arcs.push(((v - 1) as VertexId, v as VertexId));
+        arcs.push((v as VertexId, (v - 1) as VertexId));
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Cycle graph `C_n` (coreness 2 everywhere for `n >= 3`).
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut arcs = Vec::with_capacity(2 * n);
+    for v in 0..n {
+        let w = (v + 1) % n;
+        arcs.push((v as VertexId, w as VertexId));
+        arcs.push((w as VertexId, v as VertexId));
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Star graph `S_n`: one hub connected to `n - 1` leaves (coreness 1).
+///
+/// The minimal contention stress test: every leaf decrements the hub.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 2, "a star needs at least 2 vertices");
+    let mut arcs = Vec::with_capacity(2 * (n - 1));
+    for v in 1..n {
+        arcs.push((0, v as VertexId));
+        arcs.push((v as VertexId, 0));
+    }
+    build_from_arcs(n, arcs)
+}
+
+/// Complete bipartite graph `K_{a,b}` (coreness `min(a, b)` everywhere).
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let n = a + b;
+    let mut arcs = Vec::with_capacity(2 * a * b);
+    for u in 0..a {
+        for v in 0..b {
+            let w = (a + v) as VertexId;
+            arcs.push((u as VertexId, w));
+            arcs.push((w, u as VertexId));
+        }
+    }
+    build_from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_basics() {
+        let g = erdos_renyi(100, 300, 17);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() <= 300);
+        assert!(g.num_edges() > 250); // few collisions at this density
+        g.validate();
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+        g.validate();
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(100);
+        assert_eq!(g.degree(0), 99);
+        assert!(g.vertices().skip(1).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_bipartite_degrees() {
+        let g = complete_bipartite(3, 7);
+        assert_eq!(g.num_edges(), 21);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 7);
+        }
+        for v in 3..10 {
+            assert_eq!(g.degree(v), 3);
+        }
+        g.validate();
+    }
+}

@@ -1,0 +1,247 @@
+//! Graph serialization: edge-list text, adjacency-graph text, and a
+//! compact binary format.
+//!
+//! * **Edge list** — one `u v` pair per line, `#`-prefixed comments;
+//!   the interchange format of SNAP and most graph repositories.
+//! * **Adjacency graph** — the Ligra/GBBS `AdjacencyGraph` text format
+//!   (header, n, m, offsets, edges), so graphs generated here can be fed
+//!   to the original GBBS/Julienne binaries and vice versa.
+//! * **Binary** — a little-endian dump of the CSR arrays with a magic
+//!   header; the fastest way to cache generated benchmark inputs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const BINARY_MAGIC: &[u8; 8] = b"KCOREGR1";
+
+/// Writes `g` as an edge list (`u v` per line, each undirected edge once).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# undirected graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads an edge list. Lines starting with `#` or `%` are comments;
+/// blank lines are skipped. `n` is inferred as `max id + 1` unless a
+/// larger `min_vertices` is given.
+pub fn read_edge_list<R: Read>(r: R, min_vertices: usize) -> io::Result<CsrGraph> {
+    let r = BufReader::new(r);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: usize = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<VertexId> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge at line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { min_vertices } else { (max_id + 1).max(min_vertices) };
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Writes `g` in the Ligra/GBBS `AdjacencyGraph` text format.
+pub fn write_adjacency_graph<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "AdjacencyGraph")?;
+    writeln!(w, "{}", g.num_vertices())?;
+    writeln!(w, "{}", g.num_arcs())?;
+    let mut offset = 0usize;
+    for v in g.vertices() {
+        writeln!(w, "{offset}")?;
+        offset += g.degree(v);
+    }
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            writeln!(w, "{u}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the Ligra/GBBS `AdjacencyGraph` text format.
+pub fn read_adjacency_graph<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let r = BufReader::new(r);
+    let mut tokens = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let t = line.trim();
+        if !t.is_empty() {
+            tokens.push(t.to_string());
+        }
+    }
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if tokens.first().map(String::as_str) != Some("AdjacencyGraph") {
+        return Err(bad("missing AdjacencyGraph header"));
+    }
+    let n: usize = tokens.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad n"))?;
+    let m: usize = tokens.get(2).and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad m"))?;
+    if tokens.len() != 3 + n + m {
+        return Err(bad("token count mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for t in &tokens[3..3 + n] {
+        offsets.push(t.parse::<usize>().map_err(|_| bad("bad offset"))?);
+    }
+    offsets.push(m);
+    let mut edges = Vec::with_capacity(m);
+    for t in &tokens[3 + n..] {
+        edges.push(t.parse::<VertexId>().map_err(|_| bad("bad edge"))?);
+    }
+    Ok(CsrGraph::from_parts(offsets, edges))
+}
+
+/// Writes `g` in the compact binary format (`KCOREGR1` magic, u64 n and
+/// m, u64 offsets, u32 edges; little-endian).
+pub fn write_binary<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_arcs() as u64).to_le_bytes())?;
+    let mut off = 0u64;
+    for v in g.vertices() {
+        w.write_all(&off.to_le_bytes())?;
+        off += g.degree(v) as u64;
+    }
+    w.write_all(&off.to_le_bytes())?;
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            w.write_all(&u.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the compact binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(r);
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut b8)?;
+        offsets.push(u64::from_le_bytes(b8) as usize);
+    }
+    let mut edges = Vec::with_capacity(m);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        edges.push(VertexId::from_le_bytes(b4));
+    }
+    if offsets.last() != Some(&m) {
+        return Err(bad("offset/edge count mismatch"));
+    }
+    Ok(CsrGraph::from_parts_unchecked(offsets, edges))
+}
+
+/// Convenience: writes the binary format to a file path.
+pub fn save_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads the binary format from a file path.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample() -> CsrGraph {
+        gen::mesh(7, 9)
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..], g.num_vertices()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_reader_handles_comments_and_blanks() {
+        let text = "# comment\n\n0 1\n% another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_reader_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes(), 0).is_err());
+        assert!(read_edge_list("0\n".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn adjacency_graph_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_adjacency_graph(&g, &mut buf).unwrap();
+        let h = read_adjacency_graph(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn adjacency_graph_rejects_bad_header() {
+        assert!(read_adjacency_graph("NotAGraph\n1\n0\n0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("kcore_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mesh.bin");
+        save_binary(&g, &path).unwrap();
+        let h = load_binary(&path).unwrap();
+        assert_eq!(g, h);
+        let _ = std::fs::remove_file(&path);
+    }
+}

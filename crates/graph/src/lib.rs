@@ -1,0 +1,30 @@
+//! Graph substrate for parallel k-core decomposition.
+//!
+//! This crate provides everything the decomposition algorithms need from
+//! the input side:
+//!
+//! * [`CsrGraph`] — an immutable, cache-friendly compressed-sparse-row
+//!   representation of an undirected graph (stored as symmetric arcs).
+//! * [`GraphBuilder`] — turns arbitrary edge lists into a [`CsrGraph`],
+//!   symmetrizing, deduplicating, and dropping self-loops along the way.
+//! * [`gen`] — synthetic generators covering every graph family used in
+//!   the paper's evaluation (grids, cubes, meshes, road-like networks,
+//!   RMAT / Barabási–Albert power-law graphs, planted-core web-like
+//!   graphs, k-NN graphs, and the adversarial HCNS construction).
+//! * [`io`] — edge-list text, adjacency-graph text, and compact binary
+//!   serialization.
+//! * [`stats`] — degree statistics used by the benchmark tables.
+//!
+//! The paper's graphs reach terabyte scale; this crate targets
+//! laptop-scale analogs of the same families (see `DESIGN.md` §2 for the
+//! substitution argument), so vertex ids are [`u32`].
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, VertexId};
+pub use stats::GraphStats;

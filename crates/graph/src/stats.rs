@@ -1,0 +1,125 @@
+//! Degree statistics for benchmark tables.
+//!
+//! The paper's Tab. 2 reports `n`, `m`, `k_max`, and the peeling
+//! complexity ρ per graph. `k_max` and ρ come from running the
+//! decomposition itself; everything degree-shaped lives here.
+
+use crate::csr::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Summary statistics of a graph's degree structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of directed arcs (2x undirected edges).
+    pub arcs: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree in arcs per vertex (`arcs / n`).
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Degree at the 99th percentile.
+    pub p99_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g` in one parallel pass plus a sort.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self {
+                n: 0,
+                arcs: 0,
+                edges: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                isolated: 0,
+                p99_degree: 0,
+            };
+        }
+        let mut degrees: Vec<usize> =
+            (0..n).into_par_iter().map(|v| g.degree(v as VertexId)).collect();
+        let isolated = degrees.par_iter().filter(|&&d| d == 0).count();
+        degrees.par_sort_unstable();
+        let p99 = degrees[((n - 1) as f64 * 0.99) as usize];
+        Self {
+            n,
+            arcs: g.num_arcs(),
+            edges: g.num_edges(),
+            max_degree: *degrees.last().unwrap(),
+            avg_degree: g.avg_degree(),
+            isolated,
+            p99_degree: p99,
+        }
+    }
+}
+
+/// Histogram of degrees in power-of-two buckets: `hist[i]` counts
+/// vertices whose degree `d` satisfies `2^i <= d + 1 < 2^(i + 1)`
+/// (so bucket 0 is degree 0, bucket 1 is degrees 1..=2, ...).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_bucket = ((g.max_degree() + 1) as f64).log2().floor() as usize;
+    let mut hist = vec![0usize; max_bucket + 1];
+    for v in 0..n {
+        let d = g.degree(v as VertexId);
+        let b = ((d + 1) as f64).log2().floor() as usize;
+        hist[b] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_grid() {
+        let g = gen::grid2d(10, 10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.edges, 180);
+        assert_eq!(s.arcs, 360);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = GraphStats::compute(&crate::CsrGraph::empty());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn stats_count_isolated() {
+        let g = crate::GraphBuilder::new(5).edge(0, 1).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_n() {
+        let g = gen::barabasi_albert(500, 3, 2);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn histogram_of_star_has_hub_in_top_bucket() {
+        let g = gen::star(65);
+        let h = degree_histogram(&g);
+        // 64 leaves with degree 1 (bucket 1), hub with degree 64 (bucket 6).
+        assert_eq!(h[1], 64);
+        assert_eq!(*h.last().unwrap(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Scheduling and contention instrumentation — the Cilkview substitute.
+//!
+//! The paper analyzes parallelism through the **burdened span** (Sec. 2):
+//! every fork/join (in practice, every global synchronization between
+//! peeling subrounds) is charged a burden ω = 15 000 — Cilkview's default
+//! — on top of unit costs for ordinary operations. The original paper
+//! measures this with Cilkview on OpenCilk binaries; this reproduction
+//! cannot run Cilkview, so the algorithms themselves account the same
+//! quantity: each subround contributes `syncs · ω + chain` where `chain`
+//! is the longest sequential dependency executed inside the subround
+//! (the VGC local-search length; 1 without VGC). This reproduces the
+//! paper's formulas `Õ(ρω)` (plain / offline) and `Õ(ρ′(ω + L))` (VGC)
+//! over the *measured* round structure — exactly what Fig. 9 plots.
+//!
+//! [`UpdateCounter`] is the contention proxy: per-location update counts
+//! whose maximum tracks the paper's contention definition (Sec. 2) well
+//! enough to show sampling's effect (Sec. 4.1.5).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Burden charged per global synchronization (Cilkview's default ω).
+pub const OMEGA: u64 = 15_000;
+
+/// Atomic running maximum.
+#[derive(Debug, Default)]
+pub struct AtomicMax(AtomicU64);
+
+impl AtomicMax {
+    /// Creates a maximum tracker starting at 0.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Raises the maximum to at least `v`.
+    #[inline]
+    pub fn update(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current maximum.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to 0.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Counters describing one decomposition run. Returned by every
+/// algorithm in the `kcore` crate; the benchmark harness turns these
+/// into the paper's Figs. 7, 9, 10 and the contention discussion.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Peeling rounds (distinct k values processed).
+    pub rounds: u64,
+    /// Total subrounds ρ (Tab. 2's peeling complexity when VGC is off).
+    pub subrounds: u64,
+    /// Global synchronization points (≥ subrounds; offline peeling has
+    /// several per subround).
+    pub global_syncs: u64,
+    /// Operation-count proxy for work W: vertices touched + arcs
+    /// traversed + active-set scans.
+    pub work: u64,
+    /// Burdened-span estimate: Σ per subround (syncs·ω + longest chain).
+    pub burdened_span: u64,
+    /// Largest frontier observed.
+    pub max_frontier: usize,
+    /// Longest VGC local-search chain observed anywhere in the run.
+    pub peak_chain: u64,
+    /// Subround count per round (Fig. 7's y/x-axis data).
+    pub subrounds_per_round: Vec<u32>,
+    /// Number of vertices that ever entered sample mode.
+    pub sampled_vertices: u64,
+    /// Resample operations performed.
+    pub resamples: u64,
+    /// Validation calls performed.
+    pub validate_calls: u64,
+    /// Sampling error-recovery restarts (expected 0; Las-Vegas safety).
+    pub restarts: u64,
+    /// Maximum atomic updates applied to any single memory location
+    /// (contention proxy; only filled when tracking is enabled).
+    pub max_updates_per_location: u64,
+}
+
+impl RunStats {
+    /// Records one subround: its synchronization count and the longest
+    /// sequential chain executed within it.
+    pub fn record_subround(&mut self, syncs: u64, longest_chain: u64) {
+        self.subrounds += 1;
+        self.global_syncs += syncs;
+        self.burdened_span += syncs * OMEGA + longest_chain;
+        self.peak_chain = self.peak_chain.max(longest_chain);
+    }
+
+    /// Closes a round that consisted of `subrounds` subrounds.
+    pub fn record_round(&mut self, subrounds: u32) {
+        self.rounds += 1;
+        self.subrounds_per_round.push(subrounds);
+    }
+
+    /// Predicted parallel time on `p` cores under the work–span model
+    /// `T_p ≈ W/p + S_b` (in abstract operation units). Used by the
+    /// scalability experiment to recover speedup *shape* on hardware
+    /// with fewer cores than the paper's testbed.
+    pub fn predicted_time(&self, p: u64) -> u64 {
+        assert!(p > 0, "core count must be positive");
+        self.work / p + self.burdened_span
+    }
+
+    /// Predicted self-relative speedup on `p` cores.
+    pub fn predicted_speedup(&self, p: u64) -> f64 {
+        self.predicted_time(1) as f64 / self.predicted_time(p) as f64
+    }
+}
+
+/// Per-location update counter: the contention diagnostic.
+///
+/// `bump(i)` counts one atomic update against location `i`; `max()` is
+/// the run's contention proxy. Enabled only in instrumented runs — the
+/// counter array doubles the atomic traffic, so benchmark timings keep
+/// it off.
+#[derive(Debug)]
+pub struct UpdateCounter {
+    counts: Box<[AtomicU32]>,
+}
+
+impl UpdateCounter {
+    /// Creates counters for `n` locations.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Records one update against location `i`.
+    #[inline]
+    pub fn bump(&self, i: usize) {
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Largest update count across locations.
+    pub fn max(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed) as u64).max().unwrap_or(0)
+    }
+
+    /// Total updates recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed) as u64).sum()
+    }
+
+    /// Update count of location `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.counts[i].load(Ordering::Relaxed) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn atomic_max_tracks_maximum() {
+        let m = AtomicMax::new();
+        (0..1000u64).into_par_iter().for_each(|i| m.update(i));
+        assert_eq!(m.get(), 999);
+        m.reset();
+        assert_eq!(m.get(), 0);
+    }
+
+    #[test]
+    fn subround_accounting() {
+        let mut s = RunStats::default();
+        s.record_subround(1, 10);
+        s.record_subround(1, 50);
+        s.record_round(2);
+        assert_eq!(s.subrounds, 2);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.burdened_span, 2 * OMEGA + 60);
+        assert_eq!(s.peak_chain, 50);
+        assert_eq!(s.subrounds_per_round, vec![2]);
+    }
+
+    #[test]
+    fn offline_subrounds_charge_more_syncs() {
+        let mut online = RunStats::default();
+        let mut offline = RunStats::default();
+        for _ in 0..10 {
+            online.record_subround(1, 1);
+            offline.record_subround(3, 1);
+        }
+        assert!(offline.burdened_span > online.burdened_span);
+        assert_eq!(offline.burdened_span / online.burdened_span, 2); // ≈3x, integer div of (3ω+1)/(ω+1)
+    }
+
+    #[test]
+    fn predicted_time_decreases_with_cores_until_span_bound() {
+        let mut s = RunStats::default();
+        s.work = 1_000_000;
+        s.record_subround(1, 0);
+        let t1 = s.predicted_time(1);
+        let t4 = s.predicted_time(4);
+        let t_inf = s.predicted_time(u64::MAX);
+        assert!(t1 > t4);
+        assert!(t4 > t_inf);
+        assert_eq!(t_inf, s.burdened_span);
+        assert!(s.predicted_speedup(4) > 1.0);
+    }
+
+    #[test]
+    fn update_counter_counts_per_location() {
+        let c = UpdateCounter::new(8);
+        (0..800usize).into_par_iter().for_each(|i| c.bump(i % 8));
+        assert_eq!(c.total(), 800);
+        assert_eq!(c.max(), 100);
+        assert_eq!(c.get(3), 100);
+    }
+}

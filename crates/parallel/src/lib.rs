@@ -1,0 +1,30 @@
+//! Parallel primitives for k-core decomposition.
+//!
+//! This crate is the substrate layer under the decomposition algorithms
+//! (the role parlaylib/GBBS utilities play for the original
+//! implementation):
+//!
+//! * [`primitives`] — `pack`, prefix scans, and counting, the building
+//!   blocks the paper assumes in Sec. 2 (“Parallel Primitives”).
+//! * [`histogram`] — the `Histogram` primitive used by offline (Julienne
+//!   style) peeling, substituting a sort-based implementation for the
+//!   paper's parallel semisort.
+//! * [`hashbag`] — the **parallel hash bag** (Sec. 2): concurrent inserts
+//!   into geometrically growing chunks with `O(λ + t)` extraction; used
+//!   for frontiers and, inside HBS, for bucket contents.
+//! * [`instrument`] — work / subround / burdened-span accounting, the
+//!   Cilkview substitute described in `DESIGN.md`.
+//! * [`pool`] — helpers for running under a fixed rayon thread count
+//!   (used by the scalability experiments).
+//!
+//! Scheduling is delegated to rayon's work-stealing fork–join runtime,
+//! which matches the paper's binary fork–join model (Sec. 2).
+
+pub mod hashbag;
+pub mod histogram;
+pub mod instrument;
+pub mod pool;
+pub mod primitives;
+
+pub use hashbag::HashBag;
+pub use instrument::{AtomicMax, RunStats, UpdateCounter, OMEGA};

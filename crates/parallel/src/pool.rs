@@ -1,0 +1,53 @@
+//! Thread-pool helpers for the scalability experiments.
+//!
+//! The paper's Fig. 10 sweeps core counts (1, 2, 4, …, 96h). Rayon's
+//! global pool is process-wide, so the sweep runs each configuration in
+//! a dedicated local pool via [`with_threads`].
+
+/// Runs `f` inside a rayon pool with exactly `threads` worker threads.
+///
+/// Nested rayon operations inside `f` use that pool. Panics from `f`
+/// propagate.
+pub fn with_threads<T, F>(threads: usize, f: F) -> T
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// Number of threads rayon would use by default on this machine.
+pub fn default_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        for t in [1usize, 2, 4] {
+            let inside = with_threads(t, rayon::current_num_threads);
+            assert_eq!(inside, t);
+        }
+    }
+
+    #[test]
+    fn parallel_work_runs_in_local_pool() {
+        let sum: u64 = with_threads(2, || (0..1_000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        with_threads(0, || ());
+    }
+}

@@ -1,0 +1,203 @@
+//! Order-preserving parallel `pack`, prefix scans, and counting.
+//!
+//! `Pack` is the workhorse primitive of the paper's framework (Alg. 1
+//! extracts frontiers and refines the active set with it, and Thm. 3.1's
+//! work bound assumes it costs `O(|A|)`). The implementation here is the
+//! textbook three-phase blocked pack: per-block count, exclusive scan
+//! over block counts, per-block write — `O(n)` work, `O(log n)` span,
+//! and stable (output preserves input order), which keeps every
+//! algorithm in this workspace deterministic run-to-run.
+
+use rayon::prelude::*;
+
+/// Block size for the blocked pack/scan phases. Large enough that the
+/// per-block bookkeeping vanishes, small enough to load-balance.
+const BLOCK: usize = 4096;
+
+/// Returns all elements of `input` satisfying `pred`, preserving order.
+pub fn pack<T, F>(input: &[T], pred: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = input.len();
+    if n <= BLOCK {
+        return input.iter().copied().filter(|x| pred(x)).collect();
+    }
+    let blocks = n.div_ceil(BLOCK);
+    let counts: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * BLOCK;
+            let hi = (lo + BLOCK).min(n);
+            input[lo..hi].iter().filter(|x| pred(x)).count()
+        })
+        .collect();
+    let (offsets, total) = exclusive_scan(&counts);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    // SAFETY: every slot in 0..total is written exactly once below —
+    // block b writes the contiguous range offsets[b]..offsets[b]+counts[b],
+    // and the scan guarantees those ranges tile 0..total.
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(n);
+        let mut pos = offsets[b];
+        let ptr = out_ptr; // capture the Send wrapper by copy
+        for x in &input[lo..hi] {
+            if pred(x) {
+                // SAFETY: disjoint ranges per block, see above.
+                unsafe { ptr.0.add(pos).write(*x) };
+                pos += 1;
+            }
+        }
+    });
+    out
+}
+
+/// Returns the indices `i` in `0..n` for which `pred(i)` holds, in order.
+///
+/// This is the form used to extract frontiers ("all active vertices with
+/// induced degree k") without materializing the candidate array first.
+pub fn pack_index<F>(n: usize, pred: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n <= BLOCK {
+        return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
+    }
+    let blocks = n.div_ceil(BLOCK);
+    let counts: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * BLOCK;
+            let hi = (lo + BLOCK).min(n);
+            (lo..hi).filter(|&i| pred(i)).count()
+        })
+        .collect();
+    let (offsets, total) = exclusive_scan(&counts);
+    let mut out: Vec<u32> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    // SAFETY: as in `pack`: block ranges tile 0..total exactly.
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(n);
+        let mut pos = offsets[b];
+        let ptr = out_ptr;
+        for i in lo..hi {
+            if pred(i) {
+                // SAFETY: disjoint ranges per block.
+                unsafe { ptr.0.add(pos).write(i as u32) };
+                pos += 1;
+            }
+        }
+    });
+    out
+}
+
+/// Raw pointer wrapper that lets disjoint-range writers share a buffer
+/// across rayon tasks.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper is only used with the disjoint-write discipline
+// documented at each use site.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Exclusive prefix sum; returns `(prefix, total)`.
+///
+/// Sequential — callers only scan per-*block* aggregates (a few thousand
+/// entries), never per-element arrays, so a parallel scan would cost
+/// more in fork overhead than it saves.
+pub fn exclusive_scan(counts: &[usize]) -> (Vec<usize>, usize) {
+    let mut prefix = Vec::with_capacity(counts.len());
+    let mut acc = 0usize;
+    for &c in counts {
+        prefix.push(acc);
+        acc += c;
+    }
+    (prefix, acc)
+}
+
+/// Counts the indices in `0..n` satisfying `pred`, in parallel.
+pub fn par_count<F>(n: usize, pred: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    (0..n).into_par_iter().filter(|&i| pred(i)).count()
+}
+
+/// Parallel maximum of `f(i)` over `0..n`; `None` when `n == 0`.
+pub fn par_max_by<F, T>(n: usize, f: F) -> Option<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Ord + Send,
+{
+    (0..n).into_par_iter().map(|i| f(i)).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_small_and_large_agree_with_filter() {
+        for n in [0usize, 1, 10, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK + 17] {
+            let input: Vec<u64> = (0..n as u64).collect();
+            let got = pack(&input, |&x| x % 3 == 0);
+            let want: Vec<u64> = input.iter().copied().filter(|&x| x % 3 == 0).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pack_preserves_order() {
+        let input: Vec<u32> = (0..(2 * BLOCK as u32 + 5)).rev().collect();
+        let got = pack(&input, |&x| x % 2 == 1);
+        let mut sorted = got.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(got, sorted, "descending input must stay descending");
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let input: Vec<u32> = (0..10_000).collect();
+        assert_eq!(pack(&input, |_| true), input);
+        assert!(pack(&input, |_| false).is_empty());
+    }
+
+    #[test]
+    fn pack_index_matches_pack() {
+        let n = 2 * BLOCK + 123;
+        let vals: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let by_index = pack_index(n, |i| vals[i] % 7 == 0);
+        let by_value: Vec<u32> =
+            (0..n as u32).filter(|&i| vals[i as usize] % 7 == 0).collect();
+        assert_eq!(by_index, by_value);
+    }
+
+    #[test]
+    fn exclusive_scan_basics() {
+        let (p, t) = exclusive_scan(&[3, 0, 2, 5]);
+        assert_eq!(p, vec![0, 3, 3, 5]);
+        assert_eq!(t, 10);
+        let (p, t) = exclusive_scan(&[]);
+        assert!(p.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn par_count_and_max() {
+        assert_eq!(par_count(100, |i| i % 10 == 0), 10);
+        assert_eq!(par_max_by(100, |i| i * 2), Some(198));
+        assert_eq!(par_max_by(0, |i| i), None);
+    }
+}

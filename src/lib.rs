@@ -1,0 +1,45 @@
+//! # parallel-kcore
+//!
+//! A Rust implementation of *“Parallel k-Core Decomposition: Theory and
+//! Practice”* (SIGMOD 2025): a simple, work-efficient (`O(n + m)`) parallel
+//! framework for k-core decomposition, together with the paper's three
+//! practical techniques — a **sampling scheme** that reduces contention on
+//! high-degree vertices, **vertical granularity control (VGC)** that
+//! collapses peeling subrounds on sparse graphs, and a **hierarchical
+//! bucketing structure (HBS)** that manages the active set on graphs with
+//! large coreness.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — CSR graphs, builders, synthetic generators, and I/O
+//!   ([`kcore_graph`]).
+//! * [`parallel`] — parallel primitives: pack, scan, histogram, the
+//!   parallel hash bag, and scheduling instrumentation ([`kcore_parallel`]).
+//! * [`buckets`] — bucketing structures, including HBS
+//!   ([`kcore_buckets`]).
+//! * [`core`] — the decomposition algorithms: the work-efficient framework,
+//!   online/offline peeling, sampling, VGC, and the ParK / PKC / Julienne /
+//!   BZ baselines ([`kcore`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_kcore::core::{KCore, Config};
+//! use parallel_kcore::graph::gen;
+//!
+//! // A 100x100 grid: interior vertices have degree 4, the whole graph is a
+//! // 2-core after the corners peel away.
+//! let g = gen::grid2d(100, 100);
+//! let result = KCore::new(Config::default()).run(&g);
+//! assert_eq!(result.kmax(), 2);
+//! ```
+pub use kcore as core;
+pub use kcore_buckets as buckets;
+pub use kcore_graph as graph;
+pub use kcore_parallel as parallel;
+
+/// Convenience re-export of the most common entry points.
+pub mod prelude {
+    pub use kcore::{Config, CorenessResult, KCore};
+    pub use kcore_graph::{CsrGraph, GraphBuilder, VertexId};
+}
