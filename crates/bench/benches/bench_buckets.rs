@@ -1,1 +1,33 @@
-fn main() {}
+//! Bucketing-structure comparison (the paper's Fig. 8 axis): the same
+//! decomposition under each frontier-management strategy, on the graphs
+//! that stress them — HCNS for bucket depth, a dense planted core for
+//! high `k_max`, and a grid for the sparse regime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore::{BucketStrategy, Config, KCore};
+use kcore_graph::gen;
+
+fn bench_strategies(c: &mut Criterion) {
+    let graphs = [
+        ("hcns-120", gen::hcns(120)),
+        ("planted-core-1500", gen::planted_core(1500, 3, 70, 42)),
+        ("grid2d-80x80", gen::grid2d(80, 80)),
+    ];
+    let strategies = [
+        BucketStrategy::Single,
+        BucketStrategy::Fixed(16),
+        BucketStrategy::Hierarchical,
+        BucketStrategy::Adaptive,
+    ];
+    for (name, g) in &graphs {
+        for strategy in strategies {
+            let config = Config { collect_stats: false, ..Config::with_strategy(strategy) };
+            c.bench_function(&format!("buckets/{name}/{strategy}"), |b| {
+                b.iter(|| black_box(KCore::new(config).run(g)))
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

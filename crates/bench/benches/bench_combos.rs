@@ -1,1 +1,25 @@
-fn main() {}
+//! Configuration sweep: bucket strategy x statistics collection across
+//! the standard suite — the grid the Tab. 3 "combination" rows come
+//! from once sampling and VGC land.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore::{BucketStrategy, Config, KCore};
+use kcore_bench::standard_suite;
+
+fn bench_combos(c: &mut Criterion) {
+    let strategies = [BucketStrategy::Single, BucketStrategy::Adaptive];
+    for bg in standard_suite() {
+        for strategy in strategies {
+            for collect_stats in [false, true] {
+                let config = Config { collect_stats, ..Config::with_strategy(strategy) };
+                let stats = if collect_stats { "stats" } else { "nostats" };
+                c.bench_function(&format!("combos/{}/{strategy}/{stats}", bg.name), |b| {
+                    b.iter(|| black_box(KCore::new(config).run(&bg.graph)))
+                });
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_combos);
+criterion_main!(benches);

@@ -1,1 +1,51 @@
-fn main() {}
+//! Substrate microbenchmarks: pack, scan, histogram, and the parallel
+//! hash bag — the primitives whose constants dominate the peeling loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore_parallel::histogram::{histogram_atomic, histogram_sort};
+use kcore_parallel::primitives::{exclusive_scan, pack, pack_index};
+use kcore_parallel::HashBag;
+
+const N: usize = 1 << 16;
+
+fn bench_pack(c: &mut Criterion) {
+    let input: Vec<u32> = (0..N as u32).collect();
+    c.bench_function("substrate/pack/even", |b| {
+        b.iter(|| pack(black_box(&input), |&x| x % 2 == 0))
+    });
+    c.bench_function("substrate/pack_index/even", |b| {
+        b.iter(|| pack_index(black_box(N), |i| i % 2 == 0))
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let counts: Vec<usize> = (0..4096).map(|i| i % 7).collect();
+    c.bench_function("substrate/exclusive_scan/4096", |b| {
+        b.iter(|| exclusive_scan(black_box(&counts)))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(2654435761) % 1024).collect();
+    c.bench_function("substrate/histogram_sort", |b| {
+        b.iter(|| histogram_sort(black_box(keys.clone())))
+    });
+    c.bench_function("substrate/histogram_atomic", |b| {
+        b.iter(|| histogram_atomic(black_box(&keys), 1024))
+    });
+}
+
+fn bench_hashbag(c: &mut Criterion) {
+    c.bench_function("substrate/hashbag/insert_extract_64k", |b| {
+        b.iter(|| {
+            let mut bag = HashBag::new(N);
+            for v in 0..N as u32 {
+                bag.insert(v);
+            }
+            black_box(bag.extract_all())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pack, bench_scan, bench_histogram, bench_hashbag);
+criterion_main!(benches);

@@ -1,1 +1,29 @@
-fn main() {}
+//! Tab. 2 analog: decomposition time and structure (k_max, peeling
+//! complexity rho) across every graph family, default configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore::{Config, KCore};
+use kcore_bench::standard_suite;
+
+fn bench_families(c: &mut Criterion) {
+    for bg in standard_suite() {
+        // Print the table row once (n, m, k_max, rho) so bench output
+        // doubles as the Tab. 2 data source.
+        let result = KCore::new(Config::default()).run(&bg.graph);
+        println!(
+            "table2: {:<20} n={:<8} m={:<9} kmax={:<5} rho={}",
+            bg.name,
+            bg.graph.num_vertices(),
+            bg.graph.num_edges(),
+            result.kmax(),
+            result.stats().subrounds,
+        );
+        let config = Config { collect_stats: false, ..Config::default() };
+        c.bench_function(&format!("table2/{}", bg.name), |b| {
+            b.iter(|| black_box(KCore::new(config).run(&bg.graph)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -1,1 +1,26 @@
-fn main() {}
+//! Technique ablation scaffold (the paper's Tab. 3 axes). Sampling and
+//! VGC are not implemented yet (see ROADMAP.md); until they land, this
+//! harness measures the framework baseline against the sequential BZ
+//! algorithm — the speedup denominator every technique is judged by.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore::bz::bz_coreness;
+use kcore::{Config, KCore};
+use kcore_graph::gen;
+
+fn bench_framework_vs_bz(c: &mut Criterion) {
+    let graphs =
+        [("mesh-60x60", gen::mesh(60, 60)), ("rmat-s11", gen::rmat(11, 8, 0.57, 0.19, 0.19, 42))];
+    for (name, g) in &graphs {
+        let config = Config { collect_stats: false, ..Config::default() };
+        c.bench_function(&format!("techniques/{name}/framework"), |b| {
+            b.iter(|| black_box(KCore::new(config).run(g)))
+        });
+        c.bench_function(&format!("techniques/{name}/bz-sequential"), |b| {
+            b.iter(|| black_box(bz_coreness(g)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_framework_vs_bz);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! The paper benchmarks laptop-scale analogs of its graph families
+//! (see `kcore_graph::gen`); this crate centralizes the instances every
+//! bench file uses so Tab. 2 / Tab. 3 style sweeps stay consistent.
+
+use kcore_graph::CsrGraph;
+
+/// A named benchmark instance.
+pub struct BenchGraph {
+    pub name: &'static str,
+    pub graph: CsrGraph,
+}
+
+/// The standard small suite: one representative per family, sized so a
+/// full sweep stays in CI budget.
+pub fn standard_suite() -> Vec<BenchGraph> {
+    use kcore_graph::gen;
+    vec![
+        BenchGraph { name: "grid2d-100x100", graph: gen::grid2d(100, 100) },
+        BenchGraph { name: "cube-20x20x20", graph: gen::grid3d(20, 20, 20) },
+        BenchGraph { name: "mesh-80x80", graph: gen::mesh(80, 80) },
+        BenchGraph { name: "road-100x100", graph: gen::road(100, 100, 0.15, 0.05, 42) },
+        BenchGraph { name: "rmat-s12", graph: gen::rmat(12, 8, 0.57, 0.19, 0.19, 42) },
+        BenchGraph { name: "ba-5000", graph: gen::barabasi_albert(5000, 4, 42) },
+        BenchGraph { name: "knn-4000-k5", graph: gen::knn(4000, 5, 42) },
+        BenchGraph { name: "planted-core-2000", graph: gen::planted_core(2000, 3, 80, 42) },
+        BenchGraph { name: "hcns-150", graph: gen::hcns(150) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_nonempty_and_valid() {
+        let suite = standard_suite();
+        assert!(suite.len() >= 5);
+        for bg in &suite {
+            assert!(bg.graph.num_vertices() > 0, "{} is empty", bg.name);
+            bg.graph.validate();
+        }
+    }
+}

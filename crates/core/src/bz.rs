@@ -1,0 +1,135 @@
+//! The sequential Batagelj–Zaveršnik (BZ) peeling algorithm.
+//!
+//! BZ (2003) computes every coreness in `O(n + m)` time with a
+//! bucket-sorted vertex array: process vertices in increasing order of
+//! current degree; each processed vertex's degree is final (it equals
+//! the coreness), and every higher-degree neighbor is decremented and
+//! swapped one bucket down. This is the paper's sequential baseline
+//! (Tab. 1) and the correctness oracle for every parallel variant in
+//! this workspace.
+
+use kcore_graph::CsrGraph;
+
+/// Coreness of every vertex, computed sequentially.
+pub fn bz_coreness(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = g.degrees();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket-sort vertices by degree. `bin[d]` is the start of the
+    // degree-`d` block in `vert`; `pos[v]` is `v`'s index in `vert`.
+    let mut bin = vec![0usize; max_deg + 1];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = bin[d];
+        vert[bin[d]] = v as u32;
+        bin[d] += 1;
+    }
+    // Undo the fill's advance so bin[d] is a block start again.
+    for d in (1..=max_deg).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    for i in 0..n {
+        let v = vert[i];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if deg[u] > deg[v as usize] {
+                // Swap u with the first vertex of its degree block,
+                // then shrink the block: u moves one bucket down.
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert[pu] = w as u32;
+                    vert[pw] = u as u32;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    // Degrees are now frozen at peel time, i.e. the coreness.
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn empty_and_isolated() {
+        assert!(bz_coreness(&CsrGraph::empty()).is_empty());
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(bz_coreness(&g), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(bz_coreness(&gen::path(5)), vec![1; 5]);
+        assert_eq!(bz_coreness(&gen::cycle(6)), vec![2; 6]);
+    }
+
+    #[test]
+    fn complete_graph_coreness_is_n_minus_1() {
+        assert_eq!(bz_coreness(&gen::complete(7)), vec![6; 7]);
+    }
+
+    #[test]
+    fn star_hub_and_leaves_are_all_1_core() {
+        assert_eq!(bz_coreness(&gen::star(10)), vec![1; 10]);
+    }
+
+    #[test]
+    fn complete_bipartite_coreness_is_min_side() {
+        assert_eq!(bz_coreness(&gen::complete_bipartite(3, 8)), vec![3; 11]);
+    }
+
+    #[test]
+    fn grid_is_a_2_core() {
+        let c = bz_coreness(&gen::grid2d(10, 10));
+        assert_eq!(c.iter().copied().max(), Some(2));
+        // Corners start at degree 2 and the whole grid peels to 2.
+        assert!(c.iter().all(|&x| (1..=2).contains(&x)));
+    }
+
+    #[test]
+    fn hcns_has_one_vertex_per_coreness_level() {
+        let kmax = 12u32;
+        let c = bz_coreness(&gen::hcns(kmax as usize));
+        // Clique members 0..=kmax all have coreness kmax.
+        for (v, &cv) in c.iter().enumerate().take(kmax as usize + 1) {
+            assert_eq!(cv, kmax, "clique vertex {v}");
+        }
+        // Chain vertex for level i has coreness exactly i.
+        for i in 1..kmax as usize {
+            assert_eq!(c[kmax as usize + 1 + i - 1], i as u32, "chain vertex for level {i}");
+        }
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle {0,1,2} plus a pendant 3: triangle is 2-core, tail 1.
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build();
+        assert_eq!(bz_coreness(&g), vec![2, 2, 2, 1]);
+    }
+}

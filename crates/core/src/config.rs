@@ -1,0 +1,56 @@
+//! Decomposition configuration.
+
+use kcore_buckets::BucketStrategy;
+
+/// Configuration for a [`crate::KCore`] run.
+///
+/// The defaults reproduce the paper's final design: the adaptive
+/// bucketing strategy (plain scanning until the θ-core, HBS beyond it)
+/// with statistics collection on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// How per-round initial frontiers are produced (the third axis of
+    /// the paper's Tab. 3 ablation).
+    pub bucket_strategy: BucketStrategy,
+    /// Round at which [`BucketStrategy::Adaptive`] switches from the
+    /// flat active array to HBS (the paper's θ; Sec. 5.3). Ignored by
+    /// the other strategies.
+    pub adaptive_theta: u32,
+    /// Whether to fill [`kcore_parallel::RunStats`] (rounds, subrounds,
+    /// work, burdened span). Cheap relative to the peeling itself, so
+    /// on by default; benchmarks can turn it off.
+    pub collect_stats: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { bucket_strategy: BucketStrategy::Adaptive, adaptive_theta: 16, collect_stats: true }
+    }
+}
+
+impl Config {
+    /// Config using a specific bucketing strategy, other fields default.
+    pub fn with_strategy(strategy: BucketStrategy) -> Self {
+        Self { bucket_strategy: strategy, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_final_design() {
+        let c = Config::default();
+        assert_eq!(c.bucket_strategy, BucketStrategy::Adaptive);
+        assert_eq!(c.adaptive_theta, 16);
+        assert!(c.collect_stats);
+    }
+
+    #[test]
+    fn with_strategy_overrides_only_the_strategy() {
+        let c = Config::with_strategy(BucketStrategy::Fixed(16));
+        assert_eq!(c.bucket_strategy, BucketStrategy::Fixed(16));
+        assert_eq!(c.adaptive_theta, Config::default().adaptive_theta);
+    }
+}

@@ -1,0 +1,41 @@
+//! k-core decomposition algorithms.
+//!
+//! The **k-core** of a graph is the maximal subgraph in which every
+//! vertex has degree at least `k`; a vertex's **coreness** is the
+//! largest `k` for which it belongs to the k-core. This crate computes
+//! the coreness of every vertex with the paper's work-efficient
+//! (`O(n + m)` expected) parallel peeling framework:
+//!
+//! * [`KCore`] — the parallel framework (Alg. 1): round `k` repeatedly
+//!   peels the frontier of vertices with induced degree `k`, using
+//!   atomic clamped decrements for `DecreaseKey` and a parallel hash
+//!   bag for intra-round frontier collection. The per-round initial
+//!   frontier comes from a pluggable [`BucketStrategy`] (single bucket,
+//!   Julienne-style fixed window, HBS, or the adaptive hybrid).
+//! * [`bz`] — the sequential Batagelj–Zaveršnik bucket algorithm, the
+//!   `O(n + m)` baseline every parallel variant is tested against.
+//!
+//! The paper's remaining practical techniques — the sampling scheme for
+//! contention on high-degree vertices and vertical granularity control
+//! (VGC) for sparse graphs — plug into this framework and are tracked
+//! in `ROADMAP.md`.
+//!
+//! ```
+//! use kcore::{Config, KCore};
+//! use kcore_graph::gen;
+//!
+//! // A 100x100 grid is a 2-core once the boundary peels inward.
+//! let g = gen::grid2d(100, 100);
+//! let result = KCore::new(Config::default()).run(&g);
+//! assert_eq!(result.kmax(), 2);
+//! ```
+
+pub mod bz;
+mod config;
+mod peel;
+mod result;
+
+pub use config::Config;
+pub use kcore_buckets::BucketStrategy;
+pub use peel::KCore;
+pub use result::CorenessResult;

@@ -1,0 +1,275 @@
+//! The work-efficient parallel peeling framework (paper Alg. 1).
+//!
+//! Round `k` peels every vertex of induced degree `k` until none
+//! remain, then advances to `k + 1`. Within a round, each *subround*
+//! peels the current frontier in parallel:
+//!
+//! 1. every frontier vertex settles (its coreness is `k`),
+//! 2. each of its still-active neighbors gets an atomic **clamped
+//!    decrement** — the induced degree decreases only while it exceeds
+//!    `k`, so it never drops below the current round and every
+//!    intermediate value is observed by exactly one decrementing
+//!    thread,
+//! 3. the unique thread that moves a neighbor *to* `k` inserts it into
+//!    the parallel hash bag, which becomes the next subround's
+//!    frontier; decrements that stay above `k` are reported to the
+//!    bucket structure instead.
+//!
+//! Initial per-round frontiers come from a pluggable
+//! [`BucketStructure`]; total work is `O(n + m)` plus the structure's
+//! maintenance cost (Thm. 3.1).
+
+use crate::{Config, CorenessResult};
+use kcore_buckets::{BucketStrategy, BucketStructure, DegreeView, HierarchicalBuckets};
+use kcore_graph::CsrGraph;
+use kcore_parallel::primitives::pack_index;
+use kcore_parallel::{HashBag, RunStats};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Coreness sentinel for vertices that have not settled yet.
+const UNSET: u32 = u32::MAX;
+
+/// Live peeling state exposed to bucket structures.
+struct LiveView<'a> {
+    deg: &'a [AtomicU32],
+    coreness: &'a [AtomicU32],
+}
+
+impl DegreeView for LiveView<'_> {
+    fn key(&self, v: u32) -> u32 {
+        self.deg[v as usize].load(Ordering::Relaxed)
+    }
+
+    fn alive(&self, v: u32) -> bool {
+        self.coreness[v as usize].load(Ordering::Relaxed) == UNSET
+    }
+}
+
+/// The parallel k-core decomposition framework.
+#[derive(Debug, Clone, Default)]
+pub struct KCore {
+    config: Config,
+}
+
+impl KCore {
+    /// Creates the framework with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Decomposes `g`, returning every vertex's coreness.
+    pub fn run(&self, g: &CsrGraph) -> CorenessResult {
+        let n = g.num_vertices();
+        let mut stats = RunStats::default();
+        if n == 0 {
+            return CorenessResult::new(Vec::new(), stats);
+        }
+        let init_degrees = g.degrees();
+        let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
+        let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+        // Adaptive starts on the flat array and upgrades to HBS at the
+        // θ-core; the other strategies are fixed for the whole run.
+        let mut bucket: Box<dyn BucketStructure> = self.config.bucket_strategy.build(&init_degrees);
+        let mut adaptive_pending = matches!(self.config.bucket_strategy, BucketStrategy::Adaptive);
+
+        let mut bag = HashBag::new(n);
+        let collect_stats = self.config.collect_stats;
+        let max_deg = *init_degrees.iter().max().unwrap_or(&0);
+        let mut remaining = n;
+        let mut k = 0u32;
+        while remaining > 0 {
+            assert!(
+                k <= max_deg,
+                "peeling stalled: {remaining} vertices left after round {max_deg}"
+            );
+            let view = LiveView { deg: &deg, coreness: &coreness };
+            if adaptive_pending && k >= self.config.adaptive_theta {
+                let live = pack_index(n, |v| view.alive(v as u32));
+                let entries = live.iter().map(|&v| (v, view.key(v)));
+                bucket = Box::new(HierarchicalBuckets::with_entries(k, entries));
+                adaptive_pending = false;
+            }
+            let mut frontier = bucket.next_frontier(k, &view);
+            let mut subrounds = 0u32;
+            while !frontier.is_empty() {
+                subrounds += 1;
+                remaining -= frontier.len();
+                if collect_stats {
+                    stats.max_frontier = stats.max_frontier.max(frontier.len());
+                    let arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+                    stats.work += (frontier.len() + arcs) as u64;
+                    stats.record_subround(1, 1);
+                }
+                let bag_ref = &bag;
+                let bucket_ref = &*bucket;
+                frontier.par_iter().for_each(|&v| {
+                    coreness[v as usize].store(k, Ordering::Relaxed);
+                    for &u in g.neighbors(v) {
+                        // Clamped decrement: only while above k. Dead
+                        // vertices already sit at their (lower) peel
+                        // round, so the guard also excludes them.
+                        let prev = deg[u as usize].fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |d| {
+                                if d > k {
+                                    Some(d - 1)
+                                } else {
+                                    None
+                                }
+                            },
+                        );
+                        if let Ok(prev) = prev {
+                            if prev == k + 1 {
+                                // This thread moved u to k: u joins the
+                                // next subround exactly once.
+                                bag_ref.insert(u);
+                            } else {
+                                bucket_ref.on_decrease(u, prev - 1, k);
+                            }
+                        }
+                    }
+                });
+                frontier = bag.extract_all();
+            }
+            if collect_stats {
+                stats.record_round(subrounds);
+            }
+            k += 1;
+        }
+
+        let coreness: Vec<u32> = coreness.into_iter().map(AtomicU32::into_inner).collect();
+        CorenessResult::new(coreness, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz::bz_coreness;
+    use kcore_graph::{gen, GraphBuilder};
+
+    /// Every bucketing strategy the framework supports.
+    fn strategies() -> Vec<BucketStrategy> {
+        vec![
+            BucketStrategy::Single,
+            BucketStrategy::Fixed(16),
+            BucketStrategy::Hierarchical,
+            BucketStrategy::Adaptive,
+        ]
+    }
+
+    /// Asserts that every strategy agrees with the BZ oracle on `g`.
+    fn assert_matches_oracle(g: &CsrGraph, label: &str) {
+        let want = bz_coreness(g);
+        for strategy in strategies() {
+            let got = KCore::new(Config::with_strategy(strategy)).run(g);
+            assert_eq!(
+                got.coreness(),
+                want.as_slice(),
+                "{label}: strategy {strategy} disagrees with BZ"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = KCore::new(Config::default()).run(&CsrGraph::empty());
+        assert_eq!(r.num_vertices(), 0);
+        assert_eq!(r.kmax(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let g = GraphBuilder::new(5).build();
+        let r = KCore::new(Config::default()).run(&g);
+        assert_eq!(r.coreness(), &[0; 5]);
+        assert_eq!(r.kmax(), 0);
+    }
+
+    #[test]
+    fn structural_graphs_match_oracle() {
+        assert_matches_oracle(&gen::path(40), "path");
+        assert_matches_oracle(&gen::cycle(33), "cycle");
+        assert_matches_oracle(&gen::star(65), "star");
+        assert_matches_oracle(&gen::complete(20), "complete");
+        assert_matches_oracle(&gen::complete_bipartite(4, 9), "bipartite");
+    }
+
+    #[test]
+    fn grid_families_match_oracle() {
+        assert_matches_oracle(&gen::grid2d(24, 17), "grid2d");
+        assert_matches_oracle(&gen::grid3d(6, 7, 8), "grid3d");
+        assert_matches_oracle(&gen::mesh(15, 15), "mesh");
+        assert_matches_oracle(&gen::road(20, 20, 0.15, 0.1, 7), "road");
+    }
+
+    #[test]
+    fn random_families_match_oracle() {
+        assert_matches_oracle(&gen::erdos_renyi(300, 900, 3), "erdos_renyi");
+        assert_matches_oracle(&gen::barabasi_albert(400, 3, 11), "barabasi_albert");
+        assert_matches_oracle(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 5), "rmat");
+        assert_matches_oracle(&gen::knn(250, 4, 13), "knn");
+        assert_matches_oracle(&gen::planted_core(200, 2, 40, 9), "planted_core");
+    }
+
+    #[test]
+    fn hcns_exercises_deep_bucket_hierarchies() {
+        assert_matches_oracle(&gen::hcns(40), "hcns");
+    }
+
+    #[test]
+    fn grid_kmax_is_2() {
+        let g = gen::grid2d(100, 100);
+        let r = KCore::new(Config::default()).run(&g);
+        assert_eq!(r.kmax(), 2);
+    }
+
+    #[test]
+    fn stats_are_collected_by_default() {
+        let g = gen::grid2d(30, 30);
+        let r = KCore::new(Config::default()).run(&g);
+        let s = r.stats();
+        assert!(s.rounds >= 3, "grid peels over rounds 0..=2, got {}", s.rounds);
+        assert!(s.subrounds >= s.rounds);
+        assert!(s.work as usize >= g.num_vertices() + g.num_arcs());
+        assert!(s.max_frontier > 0);
+        assert_eq!(s.subrounds_per_round.len(), s.rounds as usize);
+    }
+
+    #[test]
+    fn stats_can_be_disabled() {
+        let g = gen::grid2d(10, 10);
+        let config = Config { collect_stats: false, ..Config::default() };
+        let r = KCore::new(config).run(&g);
+        assert_eq!(r.stats().rounds, 0);
+        assert_eq!(r.stats().work, 0);
+        // Coreness is still correct.
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+    }
+
+    #[test]
+    fn adaptive_switchover_crosses_theta() {
+        // planted_core has kmax >= 39 > θ = 16, so Adaptive upgrades to
+        // HBS mid-run; the result must be unaffected.
+        let g = gen::planted_core(300, 2, 60, 21);
+        let adaptive = KCore::new(Config::default()).run(&g);
+        assert_eq!(adaptive.coreness(), bz_coreness(&g).as_slice());
+        assert!(adaptive.kmax() >= 16);
+    }
+
+    #[test]
+    fn peeling_is_deterministic_for_fixed_input() {
+        let g = gen::rmat(8, 6, 0.57, 0.19, 0.19, 2);
+        let a = KCore::new(Config::default()).run(&g);
+        let b = KCore::new(Config::default()).run(&g);
+        assert_eq!(a.coreness(), b.coreness());
+    }
+}

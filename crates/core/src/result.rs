@@ -1,0 +1,76 @@
+//! Decomposition output.
+
+use kcore_parallel::RunStats;
+use rayon::prelude::*;
+
+/// The result of a k-core decomposition: per-vertex coreness plus the
+/// run's instrumentation counters.
+#[derive(Debug, Clone, Default)]
+pub struct CorenessResult {
+    coreness: Vec<u32>,
+    stats: RunStats,
+}
+
+impl CorenessResult {
+    pub(crate) fn new(coreness: Vec<u32>, stats: RunStats) -> Self {
+        Self { coreness, stats }
+    }
+
+    /// Coreness of every vertex, indexed by vertex id.
+    pub fn coreness(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// Consumes the result, returning the coreness array.
+    pub fn into_coreness(self) -> Vec<u32> {
+        self.coreness
+    }
+
+    /// The degeneracy `k_max`: the largest coreness of any vertex
+    /// (0 for the empty graph).
+    pub fn kmax(&self) -> u32 {
+        self.coreness.par_iter().map(|&c| c).max().unwrap_or(0)
+    }
+
+    /// Number of vertices decomposed.
+    pub fn num_vertices(&self) -> usize {
+        self.coreness.len()
+    }
+
+    /// Number of vertices with coreness at least `k` (the k-core size).
+    pub fn core_size(&self, k: u32) -> usize {
+        self.coreness.par_iter().filter(|&&c| c >= k).count()
+    }
+
+    /// Run counters (rounds, subrounds, work, burdened span, ...).
+    /// All-zero when the run was configured with `collect_stats: false`.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmax_of_empty_is_zero() {
+        let r = CorenessResult::default();
+        assert_eq!(r.kmax(), 0);
+        assert_eq!(r.num_vertices(), 0);
+    }
+
+    #[test]
+    fn kmax_and_core_sizes() {
+        let r = CorenessResult::new(vec![0, 1, 1, 2, 3, 3], RunStats::default());
+        assert_eq!(r.kmax(), 3);
+        assert_eq!(r.num_vertices(), 6);
+        assert_eq!(r.core_size(0), 6);
+        assert_eq!(r.core_size(1), 5);
+        assert_eq!(r.core_size(2), 3);
+        assert_eq!(r.core_size(3), 2);
+        assert_eq!(r.core_size(4), 0);
+        assert_eq!(r.coreness(), &[0, 1, 1, 2, 3, 3]);
+        assert_eq!(r.into_coreness(), vec![0, 1, 1, 2, 3, 3]);
+    }
+}

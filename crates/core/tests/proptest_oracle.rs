@@ -1,0 +1,98 @@
+//! Property-based correctness: on arbitrary graphs, every parallel
+//! peeling configuration must agree vertex-for-vertex with the
+//! sequential Batagelj–Zaveršnik oracle, and the coreness array must
+//! satisfy the defining k-core property.
+
+use kcore::bz::bz_coreness;
+use kcore::{BucketStrategy, Config, KCore};
+use kcore_graph::{gen, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn all_strategies() -> Vec<BucketStrategy> {
+    vec![
+        BucketStrategy::Single,
+        BucketStrategy::Fixed(16),
+        BucketStrategy::Hierarchical,
+        BucketStrategy::Adaptive,
+    ]
+}
+
+fn assert_all_strategies_match(g: &CsrGraph) {
+    let want = bz_coreness(g);
+    for strategy in all_strategies() {
+        let got = KCore::new(Config::with_strategy(strategy)).run(g);
+        prop_assert_eq!(
+            got.coreness(),
+            want.as_slice(),
+            "strategy {} disagrees with BZ oracle",
+            strategy
+        );
+    }
+}
+
+/// Arbitrary messy edge list: duplicates and self-loops allowed.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..48).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..192))
+            .prop_map(|(n, edges)| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_graphs_match_oracle(g in arb_graph()) {
+        assert_all_strategies_match(&g);
+    }
+
+    #[test]
+    fn erdos_renyi_matches_oracle(n in 2usize..120, m in 0usize..400, seed in any::<u64>()) {
+        let g = gen::erdos_renyi(n, m, seed);
+        assert_all_strategies_match(&g);
+    }
+
+    #[test]
+    fn power_law_matches_oracle(n in 10usize..150, attach in 1usize..4, seed in any::<u64>()) {
+        let g = gen::barabasi_albert(n.max(attach + 2), attach, seed);
+        assert_all_strategies_match(&g);
+    }
+
+    #[test]
+    fn hcns_matches_oracle(kmax in 2usize..40) {
+        // Exercises deep bucket hierarchies: one vertex per coreness
+        // level plus a (kmax + 1)-clique.
+        assert_all_strategies_match(&gen::hcns(kmax));
+    }
+
+    #[test]
+    fn coreness_satisfies_the_core_property(g in arb_graph()) {
+        // Defining property: within the subgraph induced by vertices of
+        // coreness >= c(v), v has degree >= c(v); and no vertex's
+        // coreness exceeds its degree.
+        let result = KCore::new(Config::default()).run(&g);
+        let coreness = result.coreness();
+        for v in g.vertices() {
+            let c = coreness[v as usize];
+            prop_assert!(c as usize <= g.degree(v));
+            let within = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| coreness[u as usize] >= c)
+                .count();
+            prop_assert!(
+                within >= c as usize,
+                "vertex {} has only {} neighbors in its own {}-core",
+                v,
+                within,
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn kmax_is_bounded_by_max_degree(g in arb_graph()) {
+        let result = KCore::new(Config::default()).run(&g);
+        prop_assert!(result.kmax() as usize <= g.max_degree());
+        prop_assert_eq!(result.num_vertices(), g.num_vertices());
+    }
+}

@@ -27,10 +27,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        assert!(
-            n <= VertexId::MAX as usize,
-            "vertex count {n} exceeds the u32 id space"
-        );
+        assert!(n <= VertexId::MAX as usize, "vertex count {n} exceeds the u32 id space");
         Self { n, arcs: Vec::new() }
     }
 
@@ -114,9 +111,7 @@ mod tests {
 
     #[test]
     fn deduplicates_and_symmetrizes() {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (1, 0), (0, 1), (1, 2)])
-            .build();
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 0), (0, 1), (1, 2)]).build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0, 2]);

@@ -7,7 +7,6 @@
 //! are symmetrized, and `m` counts arcs, as in GBBS / Ligra).
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Vertex identifier.
 ///
@@ -21,7 +20,9 @@ pub type VertexId = u32;
 /// Construction goes through [`crate::GraphBuilder`], the generators in
 /// [`crate::gen`], or the readers in [`crate::io`]; all of them guarantee
 /// the structural invariants listed on [`CsrGraph::from_parts`].
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+// Serde derives were dropped with the offline dependency set; the
+// binary/text formats in `crate::io` cover (de)serialization needs.
+#[derive(Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v + 1]` indexes `edges` with the neighbors of
     /// `v`; has length `n + 1` and `offsets[n] == edges.len()`.
@@ -49,10 +50,7 @@ impl CsrGraph {
     /// input; this constructor is for generators that produce CSR form
     /// directly.
     pub fn from_parts(offsets: Vec<usize>, edges: Vec<VertexId>) -> Self {
-        let g = Self {
-            offsets: offsets.into_boxed_slice(),
-            edges: edges.into_boxed_slice(),
-        };
+        let g = Self { offsets: offsets.into_boxed_slice(), edges: edges.into_boxed_slice() };
         g.validate();
         g
     }
@@ -66,18 +64,12 @@ impl CsrGraph {
     /// return wrong corenesses.
     pub fn from_parts_unchecked(offsets: Vec<usize>, edges: Vec<VertexId>) -> Self {
         debug_assert!(!offsets.is_empty() && *offsets.last().unwrap() == edges.len());
-        Self {
-            offsets: offsets.into_boxed_slice(),
-            edges: edges.into_boxed_slice(),
-        }
+        Self { offsets: offsets.into_boxed_slice(), edges: edges.into_boxed_slice() }
     }
 
     /// The empty graph (no vertices, no edges).
     pub fn empty() -> Self {
-        Self {
-            offsets: vec![0].into_boxed_slice(),
-            edges: Vec::new().into_boxed_slice(),
-        }
+        Self { offsets: vec![0].into_boxed_slice(), edges: Vec::new().into_boxed_slice() }
     }
 
     /// Number of vertices `n`.
@@ -119,7 +111,7 @@ impl CsrGraph {
 
     /// Iterator over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// Parallel iterator over all vertex ids.
@@ -130,11 +122,7 @@ impl CsrGraph {
     /// Iterator over undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 

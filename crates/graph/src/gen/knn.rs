@@ -133,10 +133,7 @@ mod tests {
         // The undirected graph must contain every directed k-NN arc.
         for (i, nbrs) in brute.iter().enumerate() {
             for &j in nbrs {
-                assert!(
-                    g.has_edge(i as u32, j),
-                    "missing k-NN edge {i} -> {j}"
-                );
+                assert!(g.has_edge(i as u32, j), "missing k-NN edge {i} -> {j}");
             }
         }
         g.validate();

@@ -2,7 +2,7 @@
 //! must always produce structurally valid CSR graphs, and every
 //! serialization format must round-trip.
 
-use kcore_graph::{gen, io, CsrGraph, GraphBuilder};
+use kcore_graph::{gen, io, GraphBuilder};
 use proptest::prelude::*;
 
 /// Strategy producing an arbitrary (n, edge list) pair with duplicates

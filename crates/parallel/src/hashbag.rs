@@ -105,12 +105,7 @@ impl HashBag {
             if ticket >= limit {
                 // Chunk exhausted; move the shared cursor forward (CAS so
                 // it only advances) and retry in the next chunk.
-                let _ = self.cur.compare_exchange(
-                    c,
-                    c + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                );
+                let _ = self.cur.compare_exchange(c, c + 1, Ordering::Relaxed, Ordering::Relaxed);
                 c = self.cur.load(Ordering::Relaxed).max(c + 1);
                 continue;
             }

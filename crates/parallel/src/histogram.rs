@@ -27,10 +27,8 @@ pub fn histogram_sort(mut keys: Vec<u32>) -> Vec<(u32, u32)> {
     // Run-length encode. Runs are found in parallel by marking run heads,
     // then each head counts its run.
     let n = keys.len();
-    let heads: Vec<usize> = (0..n)
-        .into_par_iter()
-        .filter(|&i| i == 0 || keys[i] != keys[i - 1])
-        .collect();
+    let heads: Vec<usize> =
+        (0..n).into_par_iter().filter(|&i| i == 0 || keys[i] != keys[i - 1]).collect();
     heads
         .par_iter()
         .enumerate()

@@ -129,9 +129,7 @@ pub struct UpdateCounter {
 impl UpdateCounter {
     /// Creates counters for `n` locations.
     pub fn new(n: usize) -> Self {
-        Self {
-            counts: (0..n).map(|_| AtomicU32::new(0)).collect(),
-        }
+        Self { counts: (0..n).map(|_| AtomicU32::new(0)).collect() }
     }
 
     /// Records one update against location `i`.
@@ -197,8 +195,7 @@ mod tests {
 
     #[test]
     fn predicted_time_decreases_with_cores_until_span_bound() {
-        let mut s = RunStats::default();
-        s.work = 1_000_000;
+        let mut s = RunStats { work: 1_000_000, ..Default::default() };
         s.record_subround(1, 0);
         let t1 = s.predicted_time(1);
         let t4 = s.predicted_time(4);

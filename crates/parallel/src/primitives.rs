@@ -141,7 +141,7 @@ where
     F: Fn(usize) -> T + Sync,
     T: Ord + Send,
 {
-    (0..n).into_par_iter().map(|i| f(i)).max()
+    (0..n).into_par_iter().map(&f).max()
 }
 
 #[cfg(test)]
@@ -178,9 +178,9 @@ mod tests {
     fn pack_index_matches_pack() {
         let n = 2 * BLOCK + 123;
         let vals: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
-        let by_index = pack_index(n, |i| vals[i] % 7 == 0);
+        let by_index = pack_index(n, |i| vals[i].is_multiple_of(7));
         let by_value: Vec<u32> =
-            (0..n as u32).filter(|&i| vals[i as usize] % 7 == 0).collect();
+            (0..n as u32).filter(|&i| vals[i as usize].is_multiple_of(7)).collect();
         assert_eq!(by_index, by_value);
     }
 

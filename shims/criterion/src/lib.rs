@@ -1,0 +1,126 @@
+//! Offline shim for the `criterion` API subset this workspace uses:
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up, then run batches until
+//! a fixed wall-clock budget and report mean ns/iter — no statistics,
+//! plots, or baselines. Good enough to compare orders of magnitude and
+//! to keep `cargo bench` runnable offline; swap in the real criterion
+//! via the workspace `[workspace.dependencies]` entry for real numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 10_000;
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, as with the
+        // real harness. Flags (`--bench`, `--exact`, ...) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id`, unless filtered out.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let per_iter = (b.total.as_nanos() as u64).checked_div(b.iters).unwrap_or(0);
+        println!("{id:<50} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing loop driver.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nope".into()) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

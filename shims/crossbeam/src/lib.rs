@@ -1,0 +1,80 @@
+//! Offline shim for the `crossbeam` API subset this workspace uses:
+//! [`queue::SegQueue`], a concurrent FIFO queue.
+//!
+//! The real crate implements a lock-free segmented queue; this shim
+//! uses a `Mutex<VecDeque>`, which has the same interface and ordering
+//! semantics with coarser contention behavior. Bucket-structure inserts
+//! are low-frequency relative to the peeling work around them, so this
+//! is adequate until the real crate is available (swap via the
+//! workspace `[workspace.dependencies]` entry).
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Concurrent FIFO queue mirroring `crossbeam::queue::SegQueue`.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            Self { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            q.push(3);
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_pushes_all_arrive() {
+            let q = SegQueue::new();
+            std::thread::scope(|s| {
+                for t in 0..4u32 {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..1000u32 {
+                            q.push(t * 1000 + i);
+                        }
+                    });
+                }
+            });
+            assert_eq!(q.len(), 4000);
+            let mut all: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..4000u32).collect::<Vec<_>>());
+        }
+    }
+}

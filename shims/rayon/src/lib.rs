@@ -1,0 +1,715 @@
+//! Offline shim for the `rayon` API subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! stands in for rayon behind the same paths (`rayon::prelude::*`,
+//! `ThreadPoolBuilder`, `join`, `current_num_threads`). It is a *real*
+//! data-parallel implementation — consumers split the source index
+//! space into contiguous blocks and run them on `std::thread::scope`
+//! threads — just without work stealing: blocks are statically
+//! partitioned, which is adequate for the regular, flat loops in this
+//! workspace. Swap back to the real rayon by editing the workspace
+//! `[workspace.dependencies]` entry; no call site changes.
+//!
+//! Supported surface:
+//! * `into_par_iter()` on integer ranges, `par_iter()` on slices/`Vec`
+//! * adapters: `map`, `filter`, `filter_map`, `enumerate`
+//! * consumers: `collect` (into `Vec`), `for_each`, `count`, `sum`,
+//!   `max`, `min`, `any`, `all`
+//! * `par_sort_unstable` on slices
+//! * `ThreadPoolBuilder` / `ThreadPool::install` (scoped thread-count
+//!   override), `current_num_threads`, `join`
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Sources shorter than this run on the calling thread: spawning costs
+/// more than it saves.
+const MIN_PAR_LEN: usize = 2048;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+///
+/// Like the real rayon, the `RAYON_NUM_THREADS` environment variable
+/// overrides the machine default (useful to force the multi-threaded
+/// code paths on single-core runners and vice versa).
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join task panicked"))
+    })
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default" (as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool": parallel operations run under [`ThreadPool::install`] use
+/// exactly this many threads. Threads are spawned per operation (scoped),
+/// not kept alive — acceptable for the coarse-grained loops here.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+/// Splits `0..n` into at most `current_num_threads()` contiguous blocks
+/// and evaluates `f` on each, in parallel when it pays off. Results come
+/// back in block order.
+fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || n < MIN_PAR_LEN {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    // Recompute from the rounded-up chunk size: ceil(n/chunk) can be
+    // smaller than the thread count, and a block count based on threads
+    // would put trailing blocks past the end of the source.
+    let blocks = n.div_ceil(chunk);
+    let mut results: Vec<Option<R>> = (0..blocks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (b, slot) in results.iter_mut().enumerate() {
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            s.spawn(move || *slot = Some(f(lo..hi)));
+        }
+    });
+    results.into_iter().map(|r| r.expect("rayon-shim: worker block panicked")).collect()
+}
+
+/// The core shim trait. Every iterator is backed by an indexed source of
+/// known length; `drive` evaluates one contiguous block of source
+/// indices sequentially, feeding produced items to `sink` in order.
+pub trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    /// Length of the underlying indexed source (items *before* any
+    /// filtering).
+    fn source_len(&self) -> usize;
+
+    /// Evaluates source indices `range`, pushing each produced item into
+    /// `sink` in source order.
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item));
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, pred }
+    }
+
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_blocks(self.source_len(), &|range| self.drive(range, &mut |item| f(item)));
+    }
+
+    fn count(self) -> usize {
+        run_blocks(self.source_len(), &|range| {
+            let mut c = 0usize;
+            self.drive(range, &mut |_| c += 1);
+            c
+        })
+        .into_iter()
+        .sum()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_blocks(self.source_len(), &|range| {
+            // Fold incrementally through the two Sum impls — no
+            // per-block buffer of the items.
+            let mut acc: Option<S> = None;
+            self.drive(range, &mut |item| {
+                let one = std::iter::once(item).sum::<S>();
+                acc = Some(match acc.take() {
+                    None => one,
+                    Some(a) => [a, one].into_iter().sum::<S>(),
+                });
+            });
+            acc
+        })
+        .into_iter()
+        .flatten()
+        .sum()
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_blocks(self.source_len(), &|range| {
+            let mut best: Option<Self::Item> = None;
+            self.drive(range, &mut |item| {
+                if best.as_ref().is_none_or(|b| *b < item) {
+                    best = Some(item);
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .max()
+    }
+
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_blocks(self.source_len(), &|range| {
+            let mut best: Option<Self::Item> = None;
+            self.drive(range, &mut |item| {
+                if best.as_ref().is_none_or(|b| *b > item) {
+                    best = Some(item);
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn any<P>(self, pred: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        run_blocks(self.source_len(), &|range| {
+            let mut hit = false;
+            self.drive(range, &mut |item| hit = hit || pred(item));
+            hit
+        })
+        .into_iter()
+        .any(|b| b)
+    }
+
+    fn all<P>(self, pred: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        run_blocks(self.source_len(), &|range| {
+            let mut ok = true;
+            self.drive(range, &mut |item| ok = ok && pred(item));
+            ok
+        })
+        .into_iter()
+        .all(|b| b)
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Marker + helpers for iterators whose items correspond 1:1, in order,
+/// to source indices (no filtering upstream).
+pub trait IndexedParallelIterator: ParallelIterator {
+    fn len(&self) -> usize {
+        self.source_len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let blocks = run_blocks(iter.source_len(), &|range| {
+            let mut items = Vec::new();
+            iter.drive(range, &mut |item| items.push(item));
+            items
+        });
+        let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+        for b in blocks {
+            out.extend(b);
+        }
+        out
+    }
+}
+
+// ---- sources ---------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct IterRange<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IterRange<$t>;
+            fn into_par_iter(self) -> IterRange<$t> {
+                let len = if self.end > self.start { (self.end - self.start) as usize } else { 0 };
+                IterRange { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for IterRange<$t> {
+            type Item = $t;
+            fn source_len(&self) -> usize {
+                self.len
+            }
+            fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut($t)) {
+                for i in range {
+                    sink(self.start + i as $t);
+                }
+            }
+        }
+
+        impl IndexedParallelIterator for IterRange<$t> {}
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn source_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[range] {
+            sink(item);
+        }
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceIter<'_, T> {}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+// ---- adapters --------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn source_len(&self) -> usize {
+        self.base.source_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(R)) {
+        self.base.drive(range, &mut |item| sink((self.f)(item)));
+    }
+}
+
+impl<I, F, R> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+}
+
+pub struct Filter<I, P> {
+    base: I,
+    pred: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+    fn source_len(&self) -> usize {
+        self.base.source_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(I::Item)) {
+        self.base.drive(range, &mut |item| {
+            if (self.pred)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn source_len(&self) -> usize {
+        self.base.source_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(R)) {
+        self.base.drive(range, &mut |item| {
+            if let Some(mapped) = (self.f)(item) {
+                sink(mapped);
+            }
+        });
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+    fn source_len(&self) -> usize {
+        self.base.source_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut((usize, I::Item))) {
+        // Indexed upstream: items map 1:1 to source indices, so the
+        // global index is the block-local position plus the block start.
+        let mut idx = range.start;
+        self.base.drive(range, &mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {}
+
+// ---- parallel sort ---------------------------------------------------
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        let n = self.len();
+        let threads = current_num_threads();
+        if threads <= 1 || n < MIN_PAR_LEN {
+            self.sort_unstable();
+            return;
+        }
+        let runs = threads.min(n);
+        let chunk = n.div_ceil(runs);
+        std::thread::scope(|s| {
+            for piece in self.chunks_mut(chunk) {
+                s.spawn(move || piece.sort_unstable());
+            }
+        });
+        // Bottom-up merge of the sorted runs through a scratch buffer.
+        // Elements are moved bitwise (never dropped): scratch keeps
+        // len = 0 and is used as raw storage only. A panicking `Ord`
+        // impl during the merge would leak/duplicate elements of a
+        // non-Copy `T`; all users in this workspace sort Copy types.
+        let mut scratch: Vec<T> = Vec::with_capacity(n);
+        let base = self.as_mut_ptr();
+        let tmp = scratch.as_mut_ptr();
+        let mut width = chunk;
+        while width < n {
+            let mut lo = 0;
+            while lo + width < n {
+                let mid = lo + width;
+                let hi = (lo + 2 * width).min(n);
+                // SAFETY: lo < mid < hi <= n; merge_runs moves each
+                // element of self[lo..hi] exactly once via tmp.
+                unsafe { merge_runs(base, tmp, lo, mid, hi) };
+                lo = hi;
+            }
+            width *= 2;
+        }
+    }
+}
+
+/// Merges the sorted runs `base[lo..mid]` and `base[mid..hi]` in place,
+/// using `tmp` (capacity >= hi - lo) as scratch.
+///
+/// # Safety
+///
+/// `base` must be valid for reads/writes over `lo..hi`, `tmp` for
+/// writes over `0..hi - lo`, and the two allocations must not overlap.
+unsafe fn merge_runs<T: Ord>(base: *mut T, tmp: *mut T, lo: usize, mid: usize, hi: usize) {
+    let mut i = lo;
+    let mut j = mid;
+    let mut k = 0usize;
+    while i < mid && j < hi {
+        if *base.add(j) < *base.add(i) {
+            std::ptr::copy_nonoverlapping(base.add(j), tmp.add(k), 1);
+            j += 1;
+        } else {
+            std::ptr::copy_nonoverlapping(base.add(i), tmp.add(k), 1);
+            i += 1;
+        }
+        k += 1;
+    }
+    if i < mid {
+        std::ptr::copy_nonoverlapping(base.add(i), tmp.add(k), mid - i);
+        k += mid - i;
+    }
+    if j < hi {
+        std::ptr::copy_nonoverlapping(base.add(j), tmp.add(k), hi - j);
+        k += hi - j;
+    }
+    std::ptr::copy_nonoverlapping(tmp, base.add(lo), k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_collect_preserves_order() {
+        let v: Vec<u32> = (0u32..10_000).into_par_iter().collect();
+        assert_eq!(v, (0u32..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_filter_chain() {
+        let v: Vec<usize> =
+            (0usize..10_000).into_par_iter().map(|i| i * 2).filter(|&x| x % 3 == 0).collect();
+        let want: Vec<usize> = (0usize..10_000).map(|i| i * 2).filter(|&x| x % 3 == 0).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn slice_enumerate_matches_sequential() {
+        let data: Vec<u32> = (0..5000u32).rev().collect();
+        let got: Vec<(usize, u32)> = data.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        let want: Vec<(usize, u32)> = data.iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!((0u64..1_000).into_par_iter().sum::<u64>(), 499_500);
+        assert_eq!((0u32..9_999).into_par_iter().max(), Some(9_998));
+        assert_eq!((0u32..9_999).into_par_iter().min(), Some(0));
+        assert_eq!((0usize..10_000).into_par_iter().filter(|&i| i % 7 == 0).count(), 1429);
+        assert!((0u32..10_000).into_par_iter().any(|i| i == 9_999));
+        assert!(!(0u32..10_000).into_par_iter().any(|i| i == 10_000));
+        assert!((0u32..10_000).into_par_iter().all(|i| i < 10_000));
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut v: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn par_sort_under_forced_threads() {
+        // Force the multi-threaded merge path even on 1-CPU machines.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let mut v: Vec<u32> = (0..50_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+            let mut want = v.clone();
+            want.sort_unstable();
+            v.par_sort_unstable();
+            assert_eq!(v, want);
+        });
+    }
+
+    #[test]
+    fn high_thread_count_never_overruns_the_source() {
+        // Regression: with chunk = ceil(n / threads), the number of
+        // non-empty blocks can be below the thread count; a block count
+        // based on threads put trailing blocks past the slice end.
+        // n = 2500 @ 64 threads: chunk = 40, 63 blocks — block 63 would
+        // start at 2520 > 2500.
+        let pool = ThreadPoolBuilder::new().num_threads(64).build().unwrap();
+        pool.install(|| {
+            let data: Vec<u32> = (0..2500u32).collect();
+            let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled.len(), 2500);
+            assert_eq!(doubled[2499], 4998);
+            assert_eq!(data.par_iter().map(|&x| x as u64).sum::<u64>(), 2499 * 2500 / 2);
+        });
+    }
+
+    #[test]
+    fn sum_of_empty_and_filtered_blocks() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        pool.install(|| {
+            assert_eq!((0u64..0).into_par_iter().sum::<u64>(), 0);
+            // Whole blocks filter to nothing; their accumulators stay empty.
+            assert_eq!((0u64..10_000).into_par_iter().filter(|&x| x == 1).sum::<u64>(), 1);
+        });
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(join(|| 1 + 1, || "x"), (2, "x"));
+    }
+}

@@ -17,9 +17,10 @@
 //!   parallel hash bag, and scheduling instrumentation ([`kcore_parallel`]).
 //! * [`buckets`] — bucketing structures, including HBS
 //!   ([`kcore_buckets`]).
-//! * [`core`] — the decomposition algorithms: the work-efficient framework,
-//!   online/offline peeling, sampling, VGC, and the ParK / PKC / Julienne /
-//!   BZ baselines ([`kcore`]).
+//! * [`core`] — the decomposition algorithms: the work-efficient parallel
+//!   peeling framework and the sequential BZ baseline ([`kcore`]); the
+//!   sampling scheme, VGC, and the remaining baselines are tracked in
+//!   `ROADMAP.md`.
 //!
 //! ## Quickstart
 //!
