@@ -1,0 +1,52 @@
+//! Scalability sweep (the paper's Fig. 10 analog): wall-clock runtime
+//! under pinned worker-thread counts via
+//! `kcore_parallel::pool::with_threads`, techniques on and off, next to
+//! the model-predicted self-relative speedup from the run's work /
+//! burdened-span counters (`RunStats::predicted_speedup`). The paper
+//! sweeps 1..96h cores; this laptop-scale analog recovers the *shape*
+//! of the curve — measured time should track the predicted speedup
+//! until the machine runs out of cores.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kcore::{Config, KCore, Techniques};
+use kcore_graph::gen;
+use kcore_parallel::pool::with_threads;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const MODEL_CORES: [u64; 6] = [1, 2, 4, 8, 16, 96];
+
+fn bench_scalability(c: &mut Criterion) {
+    let graphs = [
+        ("rmat-s12", gen::rmat(12, 8, 0.57, 0.19, 0.19, 42)),
+        ("mesh-80x80", gen::mesh(80, 80)),
+        ("ba-10000", gen::barabasi_albert(10_000, 6, 42)),
+    ];
+    let variants = [("baseline", Techniques::default()), ("techniques", Techniques::all_online())];
+    for (gname, g) in &graphs {
+        for (vname, techniques) in variants {
+            // Model-predicted speedup from one instrumented run: the
+            // Fig. 10 curve the measured sweep is compared against.
+            let instrumented = KCore::with_exact_config(Config::with_techniques(techniques)).run(g);
+            let stats = instrumented.stats();
+            let predicted: Vec<String> = MODEL_CORES
+                .iter()
+                .map(|&p| format!("{p}:{:.2}", stats.predicted_speedup(p)))
+                .collect();
+            println!("scalability/{gname}/{vname} predicted speedup {}", predicted.join(" "));
+
+            let config = Config { collect_stats: false, techniques, ..Config::default() };
+            for threads in THREAD_SWEEP {
+                c.bench_function(&format!("scalability/{gname}/{vname}/t{threads}"), |b| {
+                    // The pool lives outside the timing loop: iterations
+                    // measure the decomposition, not thread spawn/join.
+                    with_threads(threads, || {
+                        b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+                    })
+                });
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

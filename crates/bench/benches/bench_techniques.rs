@@ -1,26 +1,45 @@
-//! Technique ablation scaffold (the paper's Tab. 3 axes). Sampling and
-//! VGC are not implemented yet (see ROADMAP.md); until they land, this
-//! harness measures the framework baseline against the sequential BZ
-//! algorithm — the speedup denominator every technique is judged by.
+//! Technique ablation (the paper's Tab. 3 axes): the plain framework
+//! against each Sec. 4 technique alone, the combined online design, and
+//! the offline histogram driver — plus the sequential BZ baseline that
+//! every speedup is judged by.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kcore::bz::bz_coreness;
-use kcore::{Config, KCore};
+use kcore::{Config, KCore, Sampling, Techniques, Vgc};
 use kcore_graph::gen;
 
-fn bench_framework_vs_bz(c: &mut Criterion) {
-    let graphs =
-        [("mesh-60x60", gen::mesh(60, 60)), ("rmat-s11", gen::rmat(11, 8, 0.57, 0.19, 0.19, 42))];
+fn variants() -> Vec<(&'static str, Techniques)> {
+    let sampling = Some(Sampling::default());
+    let vgc = Some(Vgc::default());
+    vec![
+        ("baseline", Techniques::default()),
+        ("sampling", Techniques { sampling, ..Techniques::default() }),
+        ("vgc", Techniques { vgc, ..Techniques::default() }),
+        ("sampling+vgc", Techniques { sampling, vgc, ..Techniques::default() }),
+        ("offline", Techniques::offline()),
+    ]
+}
+
+fn bench_technique_ablation(c: &mut Criterion) {
+    let graphs = [
+        ("mesh-60x60", gen::mesh(60, 60)),
+        ("rmat-s11", gen::rmat(11, 8, 0.57, 0.19, 0.19, 42)),
+        ("ba-8000", gen::barabasi_albert(8000, 8, 42)),
+    ];
     for (name, g) in &graphs {
-        let config = Config { collect_stats: false, ..Config::default() };
-        c.bench_function(&format!("techniques/{name}/framework"), |b| {
-            b.iter(|| black_box(KCore::new(config).run(g)))
-        });
+        for (vname, techniques) in variants() {
+            // Exact config: a stray KCORE_TECHNIQUES in the environment
+            // must not silently rewrite the ablation rows.
+            let config = Config { collect_stats: false, techniques, ..Config::default() };
+            c.bench_function(&format!("techniques/{name}/{vname}"), |b| {
+                b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+            });
+        }
         c.bench_function(&format!("techniques/{name}/bz-sequential"), |b| {
             b.iter(|| black_box(bz_coreness(g)))
         });
     }
 }
 
-criterion_group!(benches, bench_framework_vs_bz);
+criterion_group!(benches, bench_technique_ablation);
 criterion_main!(benches);

@@ -82,9 +82,11 @@ impl BucketStructure for FixedBuckets {
         frontier
     }
 
-    fn on_decrease(&self, v: u32, new_key: u32, _k: u32) {
+    fn on_decrease(&self, v: u32, _old_key: u32, new_key: u32, _k: u32) {
         // Only in-window keys are tracked eagerly; out-of-window keys
-        // are rediscovered from overflow at the next rebuild.
+        // are rediscovered from overflow at the next rebuild. Every
+        // in-window bucket holds a single key, so the old key never
+        // saves a push here.
         if new_key >= self.base && new_key < self.base + self.b {
             self.buckets[(new_key - self.base) as usize].push(v);
         }
@@ -127,7 +129,7 @@ mod tests {
         view.kill(1);
         // Vertex 2's key drops from 30 into the window during round 2.
         view.set_key(2, 5);
-        s.on_decrease(2, 5, 2);
+        s.on_decrease(2, 30, 5, 2);
         assert!(s.next_frontier(3, &view).is_empty());
         assert!(s.next_frontier(4, &view).is_empty());
         assert_eq!(s.next_frontier(5, &view), vec![2]);
@@ -146,9 +148,9 @@ mod tests {
         let mut s = FixedBuckets::new(&keys, 16);
         assert!(s.next_frontier(0, &view).is_empty());
         // Key walks down 12 -> 9 -> 7 -> 4 during round 0's peel.
-        for nk in [9, 7, 4] {
+        for (old, nk) in [(12, 9), (9, 7), (7, 4)] {
             view.set_key(0, nk);
-            s.on_decrease(0, nk, 0);
+            s.on_decrease(0, old, nk, 0);
         }
         for k in 1..4 {
             assert!(s.next_frontier(k, &view).is_empty(), "ghost at {k}");
@@ -170,7 +172,7 @@ mod tests {
         let mut s = FixedBuckets::new(&keys, 16);
         assert!(s.next_frontier(0, &view).is_empty());
         view.set_key(0, 20); // drops but stays out of [0, 16)
-        s.on_decrease(0, 20, 0);
+        s.on_decrease(0, 100, 20, 0);
         for k in 1..16 {
             assert!(s.next_frontier(k, &view).is_empty());
         }
@@ -179,6 +181,13 @@ mod tests {
             assert!(s.next_frontier(k, &view).is_empty());
         }
         assert_eq!(s.next_frontier(20, &view), vec![0]);
+    }
+
+    #[test]
+    fn range_extraction_surfaces_everyone_once() {
+        let keys: Vec<u32> = (0..150).map(|i| (i * 11) % 53).collect();
+        let mut s = FixedBuckets::new(&keys, 16);
+        crate::testutil::run_range_extraction(&mut s, &keys);
     }
 
     #[test]

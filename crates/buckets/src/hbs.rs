@@ -131,9 +131,17 @@ impl BucketStructure for HierarchicalBuckets {
         frontier
     }
 
-    fn on_decrease(&self, v: u32, new_key: u32, _k: u32) {
+    fn on_decrease(&self, v: u32, old_key: u32, new_key: u32, _k: u32) {
         let base = self.base.load(Ordering::Relaxed);
-        self.buckets[bucket_index(base, new_key)].push(v);
+        let target = bucket_index(base, new_key);
+        // Same-bucket moves are free: the copy filed when v entered
+        // this bucket (at construction, redistribution, or the last
+        // boundary crossing) still covers it. Exponential ranges make
+        // this the common case — a vertex crosses only O(log d(v))
+        // boundaries, which is the whole point of HBS.
+        if target != bucket_index(base, old_key) {
+            self.buckets[target].push(v);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -186,7 +194,7 @@ mod tests {
         view.kill(1);
         // Key 100 drops to 5 during round 2 (> k, so via on_decrease).
         view.set_key(0, 5);
-        s.on_decrease(0, 5, 2);
+        s.on_decrease(0, 100, 5, 2);
         assert!(s.next_frontier(3, &view).is_empty());
         assert!(s.next_frontier(4, &view).is_empty());
         assert_eq!(s.next_frontier(5, &view), vec![0]);
@@ -198,9 +206,9 @@ mod tests {
         let view = TestView::new(&keys);
         let mut s = HierarchicalBuckets::new(&keys);
         assert!(s.next_frontier(0, &view).is_empty());
-        for nk in [40, 22, 9] {
+        for (old, nk) in [(60, 40), (40, 22), (22, 9)] {
             view.set_key(0, nk);
-            s.on_decrease(0, nk, 0);
+            s.on_decrease(0, old, nk, 0);
         }
         for k in 1..9 {
             assert!(s.next_frontier(k, &view).is_empty(), "ghost at {k}");
@@ -214,14 +222,15 @@ mod tests {
 
     #[test]
     fn redistribution_collapses_duplicate_copies() {
-        // Two stale copies (keys 20 and 17) merge into the same ranged
-        // bucket; after re-anchoring the vertex must surface once.
+        // A bucket-crossing decrease (20 -> 9) files a second copy; after
+        // re-anchoring the vertex must surface exactly once.
         let keys = vec![20];
         let view = TestView::new(&keys);
         let mut s = HierarchicalBuckets::new(&keys);
         assert!(s.next_frontier(0, &view).is_empty());
-        view.set_key(0, 17);
-        s.on_decrease(0, 17, 0);
+        view.set_key(0, 9);
+        s.on_decrease(0, 20, 9, 0);
+        assert_eq!(s.stored_entries(), 2, "crossing buckets files a fresh copy");
         let mut surfaced = Vec::new();
         for k in 1..=20 {
             surfaced.extend(s.next_frontier(k, &view));
@@ -230,6 +239,28 @@ mod tests {
             }
         }
         assert_eq!(surfaced, vec![0], "vertex must surface exactly once");
+    }
+
+    #[test]
+    fn same_bucket_moves_file_no_copy() {
+        // 20 -> 17 stays inside the ranged bucket [16, 32): the copy
+        // filed at construction still covers the vertex, so on_decrease
+        // must not push (the O(log d) refile bound).
+        let keys = vec![20];
+        let view = TestView::new(&keys);
+        let mut s = HierarchicalBuckets::new(&keys);
+        assert!(s.next_frontier(0, &view).is_empty());
+        view.set_key(0, 17);
+        s.on_decrease(0, 20, 17, 0);
+        assert_eq!(s.stored_entries(), 1, "same-bucket move must be free");
+        let mut surfaced = Vec::new();
+        for k in 1..=20 {
+            surfaced.extend(s.next_frontier(k, &view));
+            for &v in &surfaced {
+                view.kill(v);
+            }
+        }
+        assert_eq!(surfaced, vec![0], "vertex surfaces at its live key once");
     }
 
     #[test]
@@ -245,6 +276,13 @@ mod tests {
             assert!(s.next_frontier(k, &view).is_empty());
         }
         assert_eq!(s.next_frontier(25, &view), vec![3]);
+    }
+
+    #[test]
+    fn range_extraction_surfaces_everyone_once() {
+        let keys: Vec<u32> = (0..200).map(|i| (i * i) % 211).collect();
+        let mut s = HierarchicalBuckets::new(&keys);
+        crate::testutil::run_range_extraction(&mut s, &keys);
     }
 
     #[test]

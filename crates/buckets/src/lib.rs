@@ -48,18 +48,38 @@ pub trait DegreeView: Sync {
 /// Contract expected by the `kcore` framework:
 /// * `next_frontier(k, view)` is called once per round with strictly
 ///   increasing `k`, between peels (exclusive access).
-/// * `on_decrease(v, new_key, k)` may be called concurrently during a
-///   peel, with `new_key > k` (keys that drop *to* `k` go directly to
-///   the in-round frontier, never through the bucket structure) and
-///   each `(v, new_key)` pair at most once (decrements are atomic, so
-///   every observed value is distinct).
+/// * `on_decrease(v, old_key, new_key, k)` may be called concurrently
+///   during a peel, with `old_key > new_key > k` (keys that drop *to*
+///   `k` go directly to the in-round frontier, never through the bucket
+///   structure) and each `(v, new_key)` pair at most once (decrements
+///   are atomic, so every observed value is distinct). `old_key` lets a
+///   structure skip updates that do not move the vertex between buckets
+///   — the step that brings HBS down to its `O(log d(v))` per-vertex
+///   bound.
 pub trait BucketStructure: Send + Sync {
     /// Returns every active vertex with induced degree exactly `k`.
     fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32>;
 
-    /// Notifies the structure that `v`'s induced degree dropped to
-    /// `new_key` while the algorithm is peeling round `k`.
-    fn on_decrease(&self, v: u32, new_key: u32, k: u32);
+    /// Returns every active vertex with induced degree in `[lo, hi)` —
+    /// the bulk form used by offline range peeling (extracting the
+    /// sub-`k`-core prefix in one step rather than round by round).
+    ///
+    /// The default implementation concatenates the per-key frontiers;
+    /// the calls participate in the structure's usual monotone key
+    /// sequence, so a range extraction counts as having advanced the
+    /// structure to round `hi - 1`. Scan-based structures override this
+    /// with a single pass.
+    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn DegreeView) -> Vec<u32> {
+        let mut out = Vec::new();
+        for k in lo..hi {
+            out.extend(self.next_frontier(k, view));
+        }
+        out
+    }
+
+    /// Notifies the structure that `v`'s induced degree dropped from
+    /// `old_key` to `new_key` while the algorithm is peeling round `k`.
+    fn on_decrease(&self, v: u32, old_key: u32, new_key: u32, k: u32);
 
     /// Human-readable strategy name (for benchmark tables).
     fn name(&self) -> &'static str;
@@ -145,6 +165,18 @@ pub(crate) mod testutil {
         fn alive(&self, v: u32) -> bool {
             !self.dead[v as usize].load(Ordering::Relaxed)
         }
+    }
+
+    /// Checks that a bulk range extraction over `[0, max_key]` surfaces
+    /// every vertex exactly once (the offline range-peeling contract).
+    pub fn run_range_extraction(structure: &mut dyn super::BucketStructure, keys: &[u32]) {
+        let view = TestView::new(keys);
+        let maxk = keys.iter().copied().max().unwrap_or(0);
+        let mut got = structure.next_frontier_range(0, maxk + 1, &view);
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..keys.len() as u32).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "range extraction must surface every vertex once");
     }
 
     /// Drives a bucket structure through a full synthetic peeling

@@ -47,7 +47,14 @@ impl BucketStructure for SingleBucket {
         pack(&self.active, |&v| view.key(v) == k)
     }
 
-    fn on_decrease(&self, _v: u32, _new_key: u32, _k: u32) {
+    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn DegreeView) -> Vec<u32> {
+        // One pass instead of the default's (hi - lo) scans: refine the
+        // active set, then pack the whole key range out of it.
+        self.active = pack(&self.active, |&v| view.alive(v) && view.key(v) >= lo);
+        pack(&self.active, |&v| view.key(v) < hi)
+    }
+
+    fn on_decrease(&self, _v: u32, _old_key: u32, _new_key: u32, _k: u32) {
         // Nothing to maintain: frontiers are recomputed by scanning.
     }
 
@@ -91,7 +98,7 @@ mod tests {
         assert!(s.next_frontier(0, &view).is_empty());
         // Vertex 1's key drops to 2 during some round.
         view.set_key(1, 2);
-        s.on_decrease(1, 2, 0); // no-op for this strategy
+        s.on_decrease(1, 5, 2, 0); // no-op for this strategy
         assert!(s.next_frontier(1, &view).is_empty());
         assert_eq!(s.next_frontier(2, &view), vec![1]);
     }
@@ -101,5 +108,22 @@ mod tests {
         let mut s = SingleBucket::new(&[]);
         let view = TestView::new(&[]);
         assert!(s.next_frontier(0, &view).is_empty());
+    }
+
+    #[test]
+    fn range_extraction_is_one_pass_and_complete() {
+        let keys: Vec<u32> = (0..300).map(|i| (i * 31) % 97).collect();
+        let mut s = SingleBucket::new(&keys);
+        crate::testutil::run_range_extraction(&mut s, &keys);
+    }
+
+    #[test]
+    fn range_extraction_respects_bounds() {
+        let keys = vec![0, 3, 5, 7, 9];
+        let view = TestView::new(&keys);
+        let mut s = SingleBucket::new(&keys);
+        let mut got = s.next_frontier_range(3, 8, &view);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "keys 3, 5, 7 lie in [3, 8)");
     }
 }

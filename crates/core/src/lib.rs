@@ -15,19 +15,38 @@
 //! * [`bz`] — the sequential Batagelj–Zaveršnik bucket algorithm, the
 //!   `O(n + m)` baseline every parallel variant is tested against.
 //!
-//! The paper's remaining practical techniques — the sampling scheme for
-//! contention on high-degree vertices and vertical granularity control
-//! (VGC) for sparse graphs — plug into this framework and are tracked
-//! in `ROADMAP.md`.
+//! The paper's Sec. 4 practical techniques plug into the framework
+//! through the [`Techniques`] block of [`Config`]:
+//!
+//! * **Sampling** ([`Sampling`], Sec. 4.1) — high-degree vertices track
+//!   an approximate induced degree over a hashed edge sample, shedding
+//!   the decrement contention on hubs; exact recounts at every peel
+//!   decision keep the output oracle-identical, and an undershoot that
+//!   pollutes a frontier triggers a Las-Vegas restart.
+//! * **Vertical granularity control** ([`Vgc`], Sec. 4.2) — workers
+//!   chase local peel chains sequentially instead of bouncing every
+//!   frontier hit through the hash bag, collapsing the tiny subrounds
+//!   that dominate sparse graphs' burdened span.
+//! * **Offline peeling** ([`PeelMode::Offline`]) — the Julienne-style
+//!   histogram driver: gather the frontier's neighborhood, histogram
+//!   it, apply bulk decrements; no per-edge atomics, three global
+//!   syncs per subround. [`KCore::kcore_members`] reuses it to answer
+//!   single-core queries by bulk range peeling.
 //!
 //! ```
-//! use kcore::{Config, KCore};
+//! use kcore::{Config, KCore, Techniques};
 //! use kcore_graph::gen;
 //!
 //! // A 100x100 grid is a 2-core once the boundary peels inward.
 //! let g = gen::grid2d(100, 100);
 //! let result = KCore::new(Config::default()).run(&g);
 //! assert_eq!(result.kmax(), 2);
+//!
+//! // Same answer with the full online techniques or the offline driver.
+//! for techniques in [Techniques::all_online(), Techniques::offline()] {
+//!     let r = KCore::new(Config::with_techniques(techniques)).run(&g);
+//!     assert_eq!(r.coreness(), result.coreness());
+//! }
 //! ```
 
 pub mod bz;
@@ -35,7 +54,7 @@ mod config;
 mod peel;
 mod result;
 
-pub use config::Config;
+pub use config::{Config, HistogramKind, Offline, PeelMode, Sampling, Techniques, Validation, Vgc};
 pub use kcore_buckets::BucketStrategy;
 pub use peel::KCore;
 pub use result::CorenessResult;

@@ -1,0 +1,252 @@
+//! Offline (Julienne-style) histogram peeling.
+//!
+//! The online driver discovers `DecreaseKey`s with per-edge atomic
+//! decrements. The offline driver (Julienne's `Peel`, the paper's
+//! online/offline ablation axis) avoids per-edge atomics entirely: per
+//! subround it
+//!
+//! 1. settles the frontier,
+//! 2. **gathers** every still-live neighbor of the frontier into one
+//!    list `L` (with duplicates),
+//! 3. **histograms** `L` — `(vertex, multiplicity)` pairs, the count of
+//!    edges each vertex just lost (see [`kcore_parallel::histogram`];
+//!    the paper uses a parallel semisort here),
+//! 4. **applies** the bulk decrements: each vertex's degree drops by
+//!    its multiplicity, clamped at the current round `k`; vertices
+//!    landing on `k` form the next frontier, the rest re-file in the
+//!    bucket structure.
+//!
+//! The price is synchronization: three global syncs per subround
+//! instead of one, which is exactly how the burdened span accounts it
+//! (`record_subround(3, …)`; Fig. 9's online/offline gap).
+//!
+//! [`kcore_membership`] reuses the machinery for the *range* form: to
+//! extract one k-core, every vertex of degree `< k` is pulled in a
+//! single bulk step ([`BucketStructure::next_frontier_range`]) and the
+//! cascade needs no round ordering at all — the serving path for
+//! individual core queries.
+
+use super::{upgrade_adaptive_if_due, LiveView, UNSET};
+use crate::config::{Config, HistogramKind, Offline};
+use kcore_buckets::{BucketStrategy, BucketStructure, SingleBucket};
+use kcore_graph::CsrGraph;
+use kcore_parallel::histogram::{histogram_atomic, histogram_auto, histogram_sort};
+use kcore_parallel::RunStats;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The offline decomposition driver. Sampling and VGC are online-only
+/// refinements (they exist to temper the online driver's atomics and
+/// subround synchronization) and are ignored here.
+pub(crate) fn run(config: &Config, off: Offline, g: &CsrGraph, stats: &mut RunStats) -> Vec<u32> {
+    let n = g.num_vertices();
+    let init_degrees = g.degrees();
+    let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
+    let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init_degrees);
+    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
+
+    let collect_stats = config.collect_stats;
+    let max_deg = *init_degrees.iter().max().unwrap_or(&0);
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        assert!(k <= max_deg, "peeling stalled: {remaining} vertices left after round {max_deg}");
+        let view = LiveView { deg: &deg, coreness: &coreness };
+        upgrade_adaptive_if_due(
+            &mut bucket,
+            &mut adaptive_pending,
+            k,
+            config.adaptive_theta,
+            n,
+            &view,
+        );
+        let mut frontier = bucket.next_frontier(k, &view);
+        let mut subrounds = 0u32;
+        while !frontier.is_empty() {
+            subrounds += 1;
+            remaining -= frontier.len();
+            if collect_stats {
+                stats.max_frontier = stats.max_frontier.max(frontier.len());
+                let arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+                stats.work += (frontier.len() + arcs) as u64;
+            }
+            // 1. settle — exclusive phase, so the gather below reads a
+            // stable liveness snapshot.
+            frontier.par_iter().for_each(|&v| coreness[v as usize].store(k, Ordering::Relaxed));
+            // 2. gather the live neighborhood, with duplicates.
+            let gathered = gather_live(g, &frontier, &coreness);
+            // 3. histogram it.
+            let hist = run_histogram(off.histogram, gathered, n);
+            if collect_stats {
+                stats.work += hist.len() as u64;
+            }
+            // 4. apply bulk decrements; hits on k form the next frontier.
+            frontier = hist
+                .par_iter()
+                .filter_map(|&(u, c)| {
+                    let u = u as usize;
+                    if coreness[u].load(Ordering::Relaxed) != UNSET {
+                        return None;
+                    }
+                    let d = deg[u].load(Ordering::Relaxed);
+                    debug_assert!(d > k, "live non-frontier vertices sit above the round");
+                    let nd = d.saturating_sub(c).max(k);
+                    deg[u].store(nd, Ordering::Relaxed);
+                    if nd == k {
+                        Some(u as u32)
+                    } else {
+                        bucket.on_decrease(u as u32, d, nd, k);
+                        None
+                    }
+                })
+                .collect();
+            if collect_stats {
+                stats.record_subround(3, 1);
+            }
+        }
+        if collect_stats {
+            stats.record_round(subrounds);
+        }
+        k += 1;
+    }
+    coreness.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Membership of the `k`-core by offline **range** peeling: one bulk
+/// extraction of every vertex below `k`, then histogram cascades until
+/// a fixpoint. No round ordering — removal order does not affect the
+/// fixpoint — so the whole sub-`k` range peels as one wave, which is
+/// why this is far cheaper than a full decomposition for one query.
+pub(crate) fn kcore_membership(g: &CsrGraph, k: u32, off: Offline) -> Vec<bool> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let init_degrees = g.degrees();
+    let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
+    // Reuse the coreness array as the peeled marker (0 = peeled).
+    let peeled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    let mut bucket = SingleBucket::new(&init_degrees);
+    let view = LiveView { deg: &deg, coreness: &peeled };
+    let mut frontier = bucket.next_frontier_range(0, k, &view);
+    while !frontier.is_empty() {
+        frontier.par_iter().for_each(|&v| peeled[v as usize].store(0, Ordering::Relaxed));
+        let gathered = gather_live(g, &frontier, &peeled);
+        let hist = run_histogram(off.histogram, gathered, n);
+        frontier = hist
+            .par_iter()
+            .filter_map(|&(u, c)| {
+                let u = u as usize;
+                if peeled[u].load(Ordering::Relaxed) != UNSET {
+                    return None;
+                }
+                let d = deg[u].load(Ordering::Relaxed);
+                let nd = d.saturating_sub(c);
+                deg[u].store(nd, Ordering::Relaxed);
+                // Only the crossing below k enters the frontier, so each
+                // vertex cascades at most once.
+                (d >= k && nd < k).then_some(u as u32)
+            })
+            .collect();
+    }
+    peeled.iter().map(|m| m.load(Ordering::Relaxed) == UNSET).collect()
+}
+
+/// Every still-live neighbor of the frontier, with duplicates — the
+/// list `L` of Julienne's `Peel`. The settle phase completed before
+/// this runs, so liveness reads are stable and the result is
+/// deterministic.
+fn gather_live(g: &CsrGraph, frontier: &[u32], coreness: &[AtomicU32]) -> Vec<u32> {
+    let per_vertex: Vec<Vec<u32>> = frontier
+        .par_iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| coreness[u as usize].load(Ordering::Relaxed) == UNSET)
+                .collect()
+        })
+        .collect();
+    let total = per_vertex.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in per_vertex {
+        out.extend(part);
+    }
+    out
+}
+
+/// Dispatches to the configured histogram implementation.
+fn run_histogram(kind: HistogramKind, keys: Vec<u32>, domain: usize) -> Vec<(u32, u32)> {
+    match kind {
+        HistogramKind::Auto => histogram_auto(keys, domain),
+        HistogramKind::Sort => histogram_sort(keys),
+        HistogramKind::Atomic => histogram_atomic(&keys, domain),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz::bz_coreness;
+    use crate::config::Techniques;
+    use crate::{Config, KCore};
+    use kcore_graph::gen;
+
+    fn offline_config(kind: HistogramKind) -> Config {
+        Config::with_techniques(Techniques {
+            mode: crate::config::PeelMode::Offline(Offline { histogram: kind }),
+            ..Techniques::default()
+        })
+    }
+
+    #[test]
+    fn every_histogram_kind_matches_the_oracle() {
+        let g = gen::rmat(9, 8, 0.57, 0.19, 0.19, 5);
+        let want = bz_coreness(&g);
+        for kind in [HistogramKind::Auto, HistogramKind::Sort, HistogramKind::Atomic] {
+            let got = KCore::new(offline_config(kind)).run(&g);
+            assert_eq!(got.coreness(), want.as_slice(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn offline_is_deterministic() {
+        let g = gen::barabasi_albert(500, 3, 9);
+        let a = KCore::new(offline_config(HistogramKind::Auto)).run(&g);
+        let b = KCore::new(offline_config(HistogramKind::Auto)).run(&g);
+        assert_eq!(a.coreness(), b.coreness());
+        assert_eq!(a.stats().subrounds, b.stats().subrounds);
+    }
+
+    #[test]
+    fn membership_of_trivial_cores() {
+        let g = gen::path(10);
+        let members = kcore_membership(&g, 0, Offline::default());
+        assert!(members.iter().all(|&m| m), "the 0-core is everything");
+        let members = kcore_membership(&g, 2, Offline::default());
+        assert!(members.iter().all(|&m| !m), "a path has no 2-core");
+    }
+
+    #[test]
+    fn membership_cascade_crosses_the_whole_graph() {
+        // A path with a triangle at the end: the 2-core is exactly the
+        // triangle, and finding it requires the removal cascade to run
+        // down the entire path.
+        let mut edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i, i + 1)).collect();
+        edges.push((20, 21));
+        edges.push((21, 22));
+        edges.push((22, 20));
+        let g = kcore_graph::GraphBuilder::new(23).edges(edges).build();
+        let members = kcore_membership(&g, 2, Offline::default());
+        for (v, &member) in members.iter().enumerate() {
+            assert_eq!(member, v >= 20, "vertex {v}: only the triangle is in the 2-core");
+        }
+    }
+
+    #[test]
+    fn empty_graph_membership() {
+        assert!(kcore_membership(&CsrGraph::empty(), 3, Offline::default()).is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! The sampling scheme (paper Sec. 4.1).
+//!
+//! Peeling a high-degree vertex's neighborhood funnels thousands of
+//! atomic decrements into one cache line — the contention hotspot the
+//! paper measures in Sec. 4.1.5. The sampling scheme removes it: a
+//! vertex whose initial degree reaches the configured threshold enters
+//! **sample mode** and stops maintaining an exact induced degree.
+//! Instead it tracks the number of *sampled* live incident edges, where
+//! each edge is in the sample with probability `2^-r`, decided by a
+//! deterministic endpoint hash. A removal then touches the shared
+//! counter only for sampled edges — a `2^r`-fold contention reduction —
+//! with a clamped (floor-0) atomic decrement.
+//!
+//! Exactness is restored at the decision points, all of which re-count
+//! the true induced degree ([`kcore_parallel::RunStats::resamples`]):
+//!
+//! * **Trigger recounts** fire inside a subround when the sampled
+//!   counter crosses the trigger watermark (≈ the round scaled by the
+//!   sampling rate, plus slack). A recount at `<= k` means the vertex
+//!   belongs to the current round: it is claimed and joins the next
+//!   subround through the hash bag. A recount above `k` refreshes the
+//!   stored degree (monotonically decreasing) and re-files the vertex
+//!   in the bucket structure.
+//! * **End-of-round validation** re-counts sample-mode vertices when a
+//!   round's frontier drains — every live one under
+//!   [`Validation::Full`] (deterministically exact, the default), or
+//!   only those under the validation watermark for the paper-faithful
+//!   [`Validation::Watermark`] fast path
+//!   ([`kcore_parallel::RunStats::validate_calls`]).
+//! * **Frontier validation** re-counts sample-mode vertices surfacing
+//!   in a round's initial frontier. Their stored degree is always an
+//!   upper bound on the truth, so a recount *below* the round proves an
+//!   earlier round missed the vertex — the frontier is polluted, and
+//!   the driver restarts the run without sampling
+//!   ([`kcore_parallel::RunStats::restarts`]; a Las-Vegas recovery that
+//!   watermark slack makes vanishingly rare, and full validation makes
+//!   impossible).
+//!
+//! A sample-mode vertex is therefore **never peeled on approximate
+//! evidence** — every settle is preceded by an exact recount — which is
+//! how the scheme stays oracle-identical while shedding contention.
+
+use super::{OnlineCtx, Polluted, UNSET};
+use crate::config::{Sampling, Validation};
+use kcore_buckets::BucketStructure;
+use kcore_graph::CsrGraph;
+use kcore_parallel::primitives::pack_index;
+use kcore_parallel::TechniqueCounters;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+
+/// Vertex tracks its exact induced degree (the plain Alg. 1 path).
+const EXACT: u8 = 0;
+/// Vertex tracks the sampled-edge counter; `deg` holds the last exact
+/// recount (an upper bound on the live degree).
+const SAMPLED: u8 = 1;
+/// A worker holds the vertex's recount token.
+const RECOUNT: u8 = 2;
+/// An exact recount confirmed the vertex peels in the current round; it
+/// sits in the frontier or hash bag and takes no further recounts.
+const CLAIMED: u8 = 3;
+
+/// Per-run state of the sampling scheme.
+pub(crate) struct SamplingState {
+    cfg: Sampling,
+    /// `2^rate_log2 - 1`: an edge is sampled iff its hash ANDs to zero.
+    mask: u64,
+    /// Per-vertex mode (see the `EXACT` … `CLAIMED` constants).
+    state: Vec<AtomicU8>,
+    /// Sampled live incident edges per vertex (sample-mode only).
+    approx: Vec<AtomicU32>,
+    /// Vertices that entered sample mode, pruned of dead entries at
+    /// each end-of-round validation.
+    sampled: Vec<u32>,
+}
+
+impl SamplingState {
+    /// Builds sample-mode state for every vertex whose initial degree
+    /// reaches the threshold; `None` when no vertex qualifies (the run
+    /// then skips the sampling hooks entirely).
+    pub(crate) fn build(g: &CsrGraph, init_degrees: &[u32], cfg: Sampling) -> Option<Self> {
+        let n = init_degrees.len();
+        let sampled = pack_index(n, |v| init_degrees[v] >= cfg.threshold);
+        if sampled.is_empty() {
+            return None;
+        }
+        let mask = (1u64 << cfg.rate_log2) - 1;
+        let state: Vec<AtomicU8> = init_degrees
+            .iter()
+            .map(|&d| AtomicU8::new(if d >= cfg.threshold { SAMPLED } else { EXACT }))
+            .collect();
+        let approx: Vec<AtomicU32> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| {
+                let count = if init_degrees[v as usize] >= cfg.threshold {
+                    g.neighbors(v).iter().filter(|&&u| edge_sampled(v, u, cfg.seed, mask)).count()
+                } else {
+                    0
+                };
+                AtomicU32::new(count as u32)
+            })
+            .collect();
+        Some(Self { cfg, mask, state, approx, sampled })
+    }
+
+    /// Number of vertices that entered sample mode.
+    pub(crate) fn num_sampled(&self) -> usize {
+        self.sampled.len()
+    }
+
+    /// Whether removals targeting `u` take the sampled path. `RECOUNT`
+    /// and `CLAIMED` count as sampled: their exact degree is never
+    /// maintained, so the exact decrement path must not touch them.
+    #[inline]
+    pub(crate) fn in_sample_mode(&self, u: u32) -> bool {
+        self.state[u as usize].load(Ordering::Relaxed) != EXACT
+    }
+
+    /// Processes the removal of edge `(src, u)` for a sample-mode `u`:
+    /// decrement the sampled counter if the edge is in the sample, and
+    /// recount exactly when the counter crosses the trigger watermark
+    /// (or bottoms out — past zero the approximation carries no signal).
+    #[inline]
+    pub(crate) fn on_neighbor_removed(&self, src: u32, u: u32, k: u32, ctx: &OnlineCtx<'_>) {
+        if !edge_sampled(src, u, self.cfg.seed, self.mask) {
+            return;
+        }
+        let prev =
+            self.approx[u as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |a| {
+                if a > 0 {
+                    Some(a - 1)
+                } else {
+                    None
+                }
+            });
+        if let Ok(prev) = prev {
+            let now = prev - 1;
+            // `==` rather than `<=`: the counter only decreases between
+            // recounts, so this fires once per crossing instead of on
+            // every removal below the watermark.
+            if now == self.trigger_watermark(k) || now == 0 {
+                self.recount_in_round(u, k, ctx);
+            }
+        }
+    }
+
+    /// Claims the recount token for `u` and re-counts exactly, mid-round.
+    fn recount_in_round(&self, u: u32, k: u32, ctx: &OnlineCtx<'_>) {
+        if self.state[u as usize]
+            .compare_exchange(SAMPLED, RECOUNT, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            // Someone else is recounting, or the vertex is already
+            // claimed for this round.
+            return;
+        }
+        ctx.counters.resamples.fetch_add(1, Ordering::Relaxed);
+        let (exact, fresh) = self.count_exact(u, ctx.g, ctx.coreness);
+        if exact <= k {
+            // The round-start invariant puts the degree at >= k when the
+            // round opened, so the drop to <= k happened during this
+            // round: the coreness is k. Claim before inserting so no
+            // second recount (or a stale bucket copy) can double-peel.
+            ctx.bag.insert(u);
+            self.state[u as usize].store(CLAIMED, Ordering::Relaxed);
+        } else {
+            if let Some(old) = store_decreased(&ctx.deg[u as usize], exact) {
+                self.approx[u as usize].store(fresh, Ordering::Relaxed);
+                ctx.bucket.on_decrease(u, old, exact, k);
+            }
+            self.state[u as usize].store(SAMPLED, Ordering::Relaxed);
+        }
+    }
+
+    /// Confirms every sample-mode vertex in a round's initial frontier
+    /// by exact recount. Runs in the sequential gap between rounds, so
+    /// the counts are exact truths: a vertex below the round proves the
+    /// frontier polluted (an earlier round missed it) and aborts the
+    /// attempt.
+    pub(crate) fn validate_frontier(
+        &self,
+        frontier: &[u32],
+        k: u32,
+        g: &CsrGraph,
+        coreness: &[AtomicU32],
+        counters: &TechniqueCounters,
+    ) -> Result<(), Polluted> {
+        let polluted = AtomicBool::new(false);
+        frontier.par_iter().for_each(|&v| {
+            let state = self.state[v as usize].load(Ordering::Relaxed);
+            debug_assert_ne!(state, CLAIMED, "claimed vertices settle within their round");
+            if state != SAMPLED {
+                return;
+            }
+            counters.resamples.fetch_add(1, Ordering::Relaxed);
+            let (exact, _) = self.count_exact(v, g, coreness);
+            if exact < k {
+                polluted.store(true, Ordering::Relaxed);
+            } else {
+                // The stored degree (== k, or the bucket would not have
+                // surfaced v) upper-bounds the truth, so exact == k.
+                debug_assert_eq!(exact, k);
+                self.state[v as usize].store(CLAIMED, Ordering::Relaxed);
+            }
+        });
+        if polluted.load(Ordering::Relaxed) {
+            Err(Polluted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// End-of-round validation: exactly re-counts live sample-mode
+    /// vertices (all of them under [`Validation::Full`], those under the
+    /// validation watermark otherwise) and returns the ones whose true
+    /// degree already reached `k` — they re-open the round. Runs in the
+    /// sequential gap, so counts are exact.
+    pub(crate) fn validate_round_end(
+        &mut self,
+        k: u32,
+        g: &CsrGraph,
+        deg: &[AtomicU32],
+        coreness: &[AtomicU32],
+        bucket: &dyn BucketStructure,
+        counters: &TechniqueCounters,
+    ) -> Vec<u32> {
+        self.sampled.retain(|&v| coreness[v as usize].load(Ordering::Relaxed) == UNSET);
+        let full = self.cfg.validation == Validation::Full;
+        let vwm = self.validation_watermark(k);
+        let this = &*self;
+        this.sampled
+            .par_iter()
+            .filter_map(|&v| {
+                if this.state[v as usize].load(Ordering::Relaxed) != SAMPLED {
+                    return None;
+                }
+                if !full && this.approx[v as usize].load(Ordering::Relaxed) > vwm {
+                    return None;
+                }
+                counters.validate_calls.fetch_add(1, Ordering::Relaxed);
+                counters.resamples.fetch_add(1, Ordering::Relaxed);
+                let (exact, fresh) = this.count_exact(v, g, coreness);
+                if exact <= k {
+                    this.state[v as usize].store(CLAIMED, Ordering::Relaxed);
+                    Some(v)
+                } else {
+                    if let Some(old) = store_decreased(&deg[v as usize], exact) {
+                        this.approx[v as usize].store(fresh, Ordering::Relaxed);
+                        bucket.on_decrease(v, old, exact, k);
+                    }
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Exact live-neighbor count of `v`, plus the count restricted to
+    /// sampled edges (the refreshed approximation). During a subround a
+    /// concurrent settle can be missed — counted as still alive — so the
+    /// result only ever *over*states the truth, which keeps the stored
+    /// degree an upper bound; in the sequential gaps it is exact.
+    fn count_exact(&self, v: u32, g: &CsrGraph, coreness: &[AtomicU32]) -> (u32, u32) {
+        let mut exact = 0u32;
+        let mut fresh = 0u32;
+        for &w in g.neighbors(v) {
+            if coreness[w as usize].load(Ordering::Relaxed) == UNSET {
+                exact += 1;
+                if edge_sampled(v, w, self.cfg.seed, self.mask) {
+                    fresh += 1;
+                }
+            }
+        }
+        (exact, fresh)
+    }
+
+    /// Sampled-counter level at which a mid-round removal triggers a
+    /// recount: the round boundary scaled by the sampling rate, plus
+    /// slack.
+    fn trigger_watermark(&self, k: u32) -> u32 {
+        ((k + 1) >> self.cfg.rate_log2) + self.cfg.slack
+    }
+
+    /// More generous end-of-round bound: catches vertices whose trigger
+    /// crossing was skipped (the watermark moves up as `k` grows).
+    fn validation_watermark(&self, k: u32) -> u32 {
+        self.trigger_watermark(k) * 2
+    }
+}
+
+/// Monotonically-decreasing store of a recounted degree, returning the
+/// replaced value. The guard keeps bucket notifications distinct (each
+/// stored value is strictly smaller than the last) and the stored value
+/// an upper bound.
+fn store_decreased(slot: &AtomicU32, exact: u32) -> Option<u32> {
+    slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| (exact < d).then_some(exact)).ok()
+}
+
+/// Whether edge `{a, b}` is in the sample: a SplitMix64-style mix of the
+/// sorted endpoint pair and the seed, accepted when the low `rate_log2`
+/// bits clear. Deterministic, so the init count and every removal agree
+/// on the sample without storing it.
+#[inline]
+fn edge_sampled(a: u32, b: u32, seed: u64, mask: u64) -> bool {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let mut h = ((lo as u64) << 32 | hi as u64) ^ seed;
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h & mask == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::gen;
+
+    #[test]
+    fn edge_sampling_is_symmetric_and_deterministic() {
+        let mask = (1u64 << 2) - 1;
+        for (a, b) in [(0u32, 1u32), (5, 900), (123_456, 7)] {
+            assert_eq!(edge_sampled(a, b, 42, mask), edge_sampled(b, a, 42, mask));
+            assert_eq!(edge_sampled(a, b, 42, mask), edge_sampled(a, b, 42, mask));
+        }
+    }
+
+    #[test]
+    fn edge_sampling_rate_is_roughly_two_to_minus_r() {
+        for r in [1u32, 2, 3] {
+            let mask = (1u64 << r) - 1;
+            let hits = (0..40_000u32).filter(|&i| edge_sampled(i, i + 1, 7, mask)).count();
+            let expect = 40_000 >> r;
+            assert!(
+                hits > expect / 2 && hits < expect * 2,
+                "rate 2^-{r}: {hits} hits vs expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_samples_only_above_threshold() {
+        let g = gen::star(50); // hub degree 49, leaves degree 1
+        let degrees = g.degrees();
+        let s = SamplingState::build(&g, &degrees, Sampling::with_threshold(10)).unwrap();
+        assert_eq!(s.num_sampled(), 1);
+        assert!(s.in_sample_mode(0), "the hub is vertex 0");
+        assert!(!s.in_sample_mode(1));
+        // The hub's sampled count reflects the hash sample of its edges.
+        let approx = s.approx[0].load(Ordering::Relaxed);
+        assert!(approx <= 49);
+        let manual =
+            (1..50u32).filter(|&leaf| edge_sampled(0, leaf, s.cfg.seed, s.mask)).count() as u32;
+        assert_eq!(approx, manual);
+    }
+
+    #[test]
+    fn build_returns_none_when_nothing_qualifies() {
+        let g = gen::path(10);
+        let degrees = g.degrees();
+        assert!(SamplingState::build(&g, &degrees, Sampling::with_threshold(100)).is_none());
+    }
+
+    #[test]
+    fn store_decreased_is_monotone() {
+        let slot = AtomicU32::new(10);
+        assert_eq!(store_decreased(&slot, 7), Some(10));
+        assert_eq!(store_decreased(&slot, 7), None, "equal values must not re-notify");
+        assert_eq!(store_decreased(&slot, 9), None, "increases must be rejected");
+        assert_eq!(store_decreased(&slot, 3), Some(7));
+        assert_eq!(slot.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn watermarks_scale_with_round_and_slack() {
+        let g = gen::star(40);
+        let degrees = g.degrees();
+        let cfg = Sampling { rate_log2: 2, slack: 5, ..Sampling::with_threshold(10) };
+        let s = SamplingState::build(&g, &degrees, cfg).unwrap();
+        assert_eq!(s.trigger_watermark(0), 5);
+        assert_eq!(s.trigger_watermark(7), 2 + 5);
+        assert_eq!(s.validation_watermark(7), (2 + 5) * 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Vertical granularity control (paper Sec. 4.2).
+//!
+//! On sparse graphs most subrounds move a handful of vertices: the
+//! global synchronization between subrounds (burden ω in the span
+//! model) dwarfs the peeling itself, and the round dissolves into a
+//! long chain of tiny fork–joins. VGC collapses them *vertically*: when
+//! a worker's clamped decrement moves a neighbor down to the current
+//! round, the worker keeps going — it settles that neighbor immediately
+//! and expands it in the same task, chasing the local peel chain
+//! sequentially instead of bouncing each hop through the hash bag.
+//!
+//! The chase is bounded by [`crate::Vgc::chain_limit`]: past the bound,
+//! discovered vertices spill to the hash bag and the next subround
+//! picks them up, so one worker can never serialize more than `L`
+//! settles. The subround's longest chase is the `chain` term of the
+//! burdened span (`Õ(ρ′(ω + L))`, Tab. 2) and feeds
+//! [`kcore_parallel::RunStats::peak_chain`].
+//!
+//! Correctness is unchanged from Alg. 1: the clamped decrement already
+//! guarantees a unique thread moves each vertex to `k`, and that thread
+//! peeling it immediately (instead of a later subround) only reorders
+//! work within the round — coreness at round `k` is `k` either way.
+
+use super::OnlineCtx;
+use std::sync::atomic::Ordering;
+
+/// Settles `v` at coreness `k`, processes its removals, and — with VGC
+/// enabled (`ctx.chain_limit > 0`) — chases the local peel chain up to
+/// the chain bound. The plain framework is the `chain_limit == 0` case:
+/// every discovered vertex goes straight to the hash bag.
+pub(crate) fn peel_from(ctx: &OnlineCtx<'_>, v: u32, k: u32) {
+    let mut pending: Vec<u32> = Vec::new();
+    let mut chased = 0u64;
+    let mut chased_work = 0u64;
+    let limit = ctx.chain_limit as u64;
+    let mut cur = v;
+    loop {
+        ctx.coreness[cur as usize].store(k, Ordering::Relaxed);
+        for &u in ctx.g.neighbors(cur) {
+            if let Some(s) = ctx.sampling {
+                if s.in_sample_mode(u) {
+                    s.on_neighbor_removed(cur, u, k, ctx);
+                    continue;
+                }
+            }
+            // Clamped decrement: only while above k. Dead vertices
+            // already sit at their (lower) peel round, so the guard
+            // also excludes them.
+            let prev =
+                ctx.deg[u as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    if d > k {
+                        Some(d - 1)
+                    } else {
+                        None
+                    }
+                });
+            if let Ok(prev) = prev {
+                if prev == k + 1 {
+                    // This thread moved u to k: u is peeled exactly
+                    // once — chased locally under VGC, else via the bag.
+                    if chased < limit {
+                        pending.push(u);
+                    } else {
+                        ctx.bag.insert(u);
+                    }
+                } else {
+                    ctx.bucket.on_decrease(u, prev, prev - 1, k);
+                }
+            }
+        }
+        match pending.pop() {
+            Some(next) if chased < limit => {
+                chased += 1;
+                chased_work += 1 + ctx.g.degree(next) as u64;
+                cur = next;
+            }
+            Some(next) => {
+                // Chain budget exhausted mid-expansion: spill the rest.
+                ctx.bag.insert(next);
+                for u in pending.drain(..) {
+                    ctx.bag.insert(u);
+                }
+                break;
+            }
+            None => break,
+        }
+    }
+    if chased > 0 {
+        ctx.counters.chased.fetch_add(chased, Ordering::Relaxed);
+        ctx.counters.chased_work.fetch_add(chased_work, Ordering::Relaxed);
+        ctx.counters.chain.update(chased);
+    }
+}

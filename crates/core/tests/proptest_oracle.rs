@@ -1,10 +1,11 @@
 //! Property-based correctness: on arbitrary graphs, every parallel
-//! peeling configuration must agree vertex-for-vertex with the
+//! peeling configuration — the full (bucket strategy × sampling × VGC ×
+//! online/offline) matrix — must agree vertex-for-vertex with the
 //! sequential Batagelj–Zaveršnik oracle, and the coreness array must
 //! satisfy the defining k-core property.
 
 use kcore::bz::bz_coreness;
-use kcore::{BucketStrategy, Config, KCore};
+use kcore::{BucketStrategy, Config, KCore, PeelMode, Sampling, Techniques, Vgc};
 use kcore_graph::{gen, CsrGraph, GraphBuilder};
 use proptest::prelude::*;
 
@@ -17,16 +18,36 @@ fn all_strategies() -> Vec<BucketStrategy> {
     ]
 }
 
-fn assert_all_strategies_match(g: &CsrGraph) {
+/// The techniques axes: sampling off/on × VGC off/on × online/offline.
+/// Sampling uses a low threshold (test graphs are small) and the
+/// deterministically-exact full validation; a short VGC chain bound
+/// forces the spill path to execute too.
+fn all_techniques() -> Vec<Techniques> {
+    let mut out = Vec::new();
+    for sampling in [None, Some(Sampling::with_threshold(4))] {
+        for vgc in [None, Some(Vgc { chain_limit: 6 })] {
+            for mode in [PeelMode::Online, Techniques::offline().mode] {
+                out.push(Techniques { sampling, vgc, mode });
+            }
+        }
+    }
+    out
+}
+
+fn assert_all_configs_match(g: &CsrGraph) {
     let want = bz_coreness(g);
     for strategy in all_strategies() {
-        let got = KCore::new(Config::with_strategy(strategy)).run(g);
-        prop_assert_eq!(
-            got.coreness(),
-            want.as_slice(),
-            "strategy {} disagrees with BZ oracle",
-            strategy
-        );
+        for techniques in all_techniques() {
+            let config = Config { bucket_strategy: strategy, techniques, ..Config::default() };
+            let got = KCore::new(config).run(g);
+            prop_assert_eq!(
+                got.coreness(),
+                want.as_slice(),
+                "strategy {} + techniques {:?} disagrees with BZ oracle",
+                strategy,
+                techniques
+            );
+        }
     }
 }
 
@@ -42,26 +63,46 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
 proptest! {
     #[test]
     fn arbitrary_graphs_match_oracle(g in arb_graph()) {
-        assert_all_strategies_match(&g);
+        assert_all_configs_match(&g);
     }
 
     #[test]
     fn erdos_renyi_matches_oracle(n in 2usize..120, m in 0usize..400, seed in any::<u64>()) {
         let g = gen::erdos_renyi(n, m, seed);
-        assert_all_strategies_match(&g);
+        assert_all_configs_match(&g);
     }
 
     #[test]
     fn power_law_matches_oracle(n in 10usize..150, attach in 1usize..4, seed in any::<u64>()) {
         let g = gen::barabasi_albert(n.max(attach + 2), attach, seed);
-        assert_all_strategies_match(&g);
+        assert_all_configs_match(&g);
     }
 
     #[test]
     fn hcns_matches_oracle(kmax in 2usize..40) {
         // Exercises deep bucket hierarchies: one vertex per coreness
         // level plus a (kmax + 1)-clique.
-        assert_all_strategies_match(&gen::hcns(kmax));
+        assert_all_configs_match(&gen::hcns(kmax));
+    }
+
+    #[test]
+    fn grid_families_match_oracle(rows in 2usize..14, cols in 2usize..14, seed in any::<u64>()) {
+        assert_all_configs_match(&gen::grid2d(rows, cols));
+        assert_all_configs_match(&gen::road(rows, cols, 0.2, 0.1, seed));
+    }
+
+    #[test]
+    fn knn_matches_oracle(n in 8usize..120, k in 1usize..5, seed in any::<u64>()) {
+        assert_all_configs_match(&gen::knn(n, k, seed));
+    }
+
+    #[test]
+    fn kcore_membership_agrees_with_coreness(g in arb_graph(), k in 0u32..8) {
+        let kc = KCore::new(Config::default());
+        let coreness = kc.run(&g);
+        let members = kc.kcore_members(&g, k);
+        let want: Vec<bool> = coreness.coreness().iter().map(|&c| c >= k).collect();
+        prop_assert_eq!(members, want);
     }
 
     #[test]

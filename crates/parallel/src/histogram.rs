@@ -58,6 +58,21 @@ pub fn histogram_atomic(keys: &[u32], domain: usize) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// Counts occurrences of each key (< `domain`), picking the cheaper
+/// implementation: atomic counting when the key list is dense relative
+/// to the domain (the `O(t + domain)` cost is dominated by `t`),
+/// sort + run-length encode otherwise. This is the offline peeling
+/// driver's default ([`histogram_sort`] / [`histogram_atomic`] remain
+/// available for forced choices).
+pub fn histogram_auto(keys: Vec<u32>, domain: usize) -> Vec<(u32, u32)> {
+    // Dense enough that the domain-sized counter scan is amortized.
+    if keys.len() * 4 >= domain {
+        histogram_atomic(&keys, domain)
+    } else {
+        histogram_sort(keys)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +111,16 @@ mod tests {
         let keys = vec![5u32; 1234];
         assert_eq!(histogram_sort(keys.clone()), vec![(5, 1234)]);
         assert_eq!(histogram_atomic(&keys, 6), vec![(5, 1234)]);
+    }
+
+    #[test]
+    fn auto_histogram_matches_reference_on_both_regimes() {
+        // Dense: 50k keys over a domain of 1000 -> atomic path.
+        let dense: Vec<u32> = (0..50_000u32).map(|i| (i * 13 + 1) % 1000).collect();
+        assert_eq!(histogram_auto(dense.clone(), 1000), reference(&dense));
+        // Sparse: 100 keys over a domain of 1M -> sort path.
+        let sparse: Vec<u32> = (0..100u32).map(|i| i * 9973).collect();
+        assert_eq!(histogram_auto(sparse.clone(), 1_000_000), reference(&sparse));
     }
 
     #[test]

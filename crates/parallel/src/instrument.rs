@@ -115,6 +115,50 @@ impl RunStats {
     }
 }
 
+/// Atomic counters shared by the worker threads of one peeling run,
+/// merged into [`RunStats`] between rounds. The sampling scheme bumps
+/// [`TechniqueCounters::resamples`] / [`TechniqueCounters::validate_calls`]
+/// from inside parallel subrounds; VGC feeds the per-subround settle
+/// count, chased-work proxy, and longest local chain.
+#[derive(Debug, Default)]
+pub struct TechniqueCounters {
+    /// Exact recounts of sample-mode vertices (trigger, frontier, and
+    /// validation recounts alike).
+    pub resamples: AtomicU64,
+    /// End-of-round validation recounts.
+    pub validate_calls: AtomicU64,
+    /// Vertices settled in the current subround beyond the frontier
+    /// itself (VGC chases). Reset per subround.
+    pub chased: AtomicU64,
+    /// Work proxy for chased vertices (vertices + arcs). Reset per
+    /// subround.
+    pub chased_work: AtomicU64,
+    /// Longest sequential chase chain in the current subround. Reset per
+    /// subround.
+    pub chain: AtomicMax,
+}
+
+impl TechniqueCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the per-subround counters (`chased`, `chased_work`,
+    /// `chain`); the run-long sampling counters keep accumulating.
+    pub fn reset_subround(&self) {
+        self.chased.store(0, Ordering::Relaxed);
+        self.chased_work.store(0, Ordering::Relaxed);
+        self.chain.reset();
+    }
+
+    /// Folds the run-long sampling counters into `stats`.
+    pub fn merge_sampling_into(&self, stats: &mut RunStats) {
+        stats.resamples += self.resamples.load(Ordering::Relaxed);
+        stats.validate_calls += self.validate_calls.load(Ordering::Relaxed);
+    }
+}
+
 /// Per-location update counter: the contention diagnostic.
 ///
 /// `bump(i)` counts one atomic update against location `i`; `max()` is
@@ -204,6 +248,29 @@ mod tests {
         assert!(t4 > t_inf);
         assert_eq!(t_inf, s.burdened_span);
         assert!(s.predicted_speedup(4) > 1.0);
+    }
+
+    #[test]
+    fn technique_counters_merge_and_reset() {
+        let c = TechniqueCounters::new();
+        (0..100u64).into_par_iter().for_each(|i| {
+            c.resamples.fetch_add(1, Ordering::Relaxed);
+            if i % 2 == 0 {
+                c.validate_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            c.chased.fetch_add(1, Ordering::Relaxed);
+            c.chain.update(i);
+        });
+        let mut stats = RunStats::default();
+        c.merge_sampling_into(&mut stats);
+        assert_eq!(stats.resamples, 100);
+        assert_eq!(stats.validate_calls, 50);
+        assert_eq!(c.chain.get(), 99);
+        c.reset_subround();
+        assert_eq!(c.chased.load(Ordering::Relaxed), 0);
+        assert_eq!(c.chain.get(), 0);
+        // Sampling counters survive subround resets.
+        assert_eq!(c.resamples.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod pool;
 pub mod primitives;
 
 pub use hashbag::HashBag;
-pub use instrument::{AtomicMax, RunStats, UpdateCounter, OMEGA};
+pub use instrument::{AtomicMax, RunStats, TechniqueCounters, UpdateCounter, OMEGA};

@@ -1,38 +1,113 @@
 //! Offline shim for the `crossbeam` API subset this workspace uses:
 //! [`queue::SegQueue`], a concurrent FIFO queue.
 //!
-//! The real crate implements a lock-free segmented queue; this shim
-//! uses a `Mutex<VecDeque>`, which has the same interface and ordering
-//! semantics with coarser contention behavior. Bucket-structure inserts
-//! are low-frequency relative to the peeling work around them, so this
-//! is adequate until the real crate is available (swap via the
-//! workspace `[workspace.dependencies]` entry).
+//! The real crate implements a lock-free segmented queue. This shim
+//! shards the queue across per-thread home shards: each pushing thread
+//! owns a cache-line-aligned shard (assigned round-robin on first use)
+//! and pushes touch only that shard's lock, so concurrent pushes from
+//! different threads proceed without contending — the property that
+//! matters for the bucket structures, whose `DecreaseKey` pushes are
+//! the hot path while pops happen in exclusive phases. An earlier
+//! revision used a single `Mutex<VecDeque>`; its per-push lock traffic
+//! made HBS *slower* than the 1-bucket baseline on `hcns` (see
+//! ROADMAP.md).
+//!
+//! Ordering: FIFO per pushing thread (its shard preserves insertion
+//! order); interleavings across threads are unordered, exactly like
+//! concurrent pushes racing into the real `SegQueue`. Swap in the real
+//! crate via the workspace `[workspace.dependencies]` entry when
+//! crates.io access is available.
 
 pub mod queue {
     use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    /// Concurrent FIFO queue mirroring `crossbeam::queue::SegQueue`.
-    #[derive(Debug, Default)]
+    /// Shard count; power of two so the home-shard modulo is a mask.
+    const SHARDS: usize = 8;
+
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        /// This thread's home shard, assigned round-robin at first use.
+        static HOME: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+    }
+
+    /// One shard, padded to a cache line so neighboring shards' locks
+    /// never false-share.
+    #[repr(align(64))]
+    #[derive(Debug)]
+    struct Shard<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Shard<T> {
+        fn default() -> Self {
+            Self { items: Mutex::new(VecDeque::new()) }
+        }
+    }
+
+    /// Concurrent FIFO queue mirroring `crossbeam::queue::SegQueue`,
+    /// sharded by pushing thread.
+    #[derive(Debug)]
     pub struct SegQueue<T> {
-        inner: Mutex<VecDeque<T>>,
+        shards: Box<[Shard<T>]>,
+        /// Shard where the last successful pop landed; scans start here
+        /// so drain loops cost O(1) amortized per element instead of
+        /// O(SHARDS).
+        cursor: AtomicUsize,
+        /// Upper bound on the element count (incremented *before* the
+        /// push lands, decremented after a successful pop). Makes
+        /// pop-on-empty and `len` O(1) — bucket structures drain every
+        /// queue once per round, most of them empty, so the empty case
+        /// is the hot one.
+        count: AtomicUsize,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
     }
 
     impl<T> SegQueue<T> {
         pub fn new() -> Self {
-            Self { inner: Mutex::new(VecDeque::new()) }
+            Self {
+                shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+                cursor: AtomicUsize::new(0),
+                count: AtomicUsize::new(0),
+            }
         }
 
         pub fn push(&self, value: T) {
-            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+            let home = HOME.with(|h| *h);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.shards[home].items.lock().expect("SegQueue poisoned").push_back(value);
         }
 
         pub fn pop(&self) -> Option<T> {
-            self.inner.lock().expect("SegQueue poisoned").pop_front()
+            if self.count.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            let start = self.cursor.load(Ordering::Relaxed);
+            for i in 0..SHARDS {
+                let shard = (start + i) & (SHARDS - 1);
+                let popped =
+                    self.shards[shard].items.lock().expect("SegQueue poisoned").pop_front();
+                if popped.is_some() {
+                    self.cursor.store(shard, Ordering::Relaxed);
+                    self.count.fetch_sub(1, Ordering::Relaxed);
+                    return popped;
+                }
+            }
+            None
         }
 
+        /// Element count. Exact when the queue is quiescent; while
+        /// pushes are in flight it may transiently overcount (like the
+        /// real `SegQueue`, whose `len` is also racy under concurrency).
         pub fn len(&self) -> usize {
-            self.inner.lock().expect("SegQueue poisoned").len()
+            self.count.load(Ordering::Relaxed)
         }
 
         pub fn is_empty(&self) -> bool {
@@ -75,6 +150,44 @@ pub mod queue {
             let mut all: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
             all.sort_unstable();
             assert_eq!(all, (0..4000u32).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn per_thread_order_is_preserved() {
+            let q = SegQueue::new();
+            std::thread::scope(|s| {
+                for t in 0..4u32 {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..500u32 {
+                            q.push((t, i));
+                        }
+                    });
+                }
+            });
+            // Within each pushing thread, pops must come out in push
+            // order (FIFO per shard).
+            let mut last = [None::<u32>; 4];
+            while let Some((t, i)) = q.pop() {
+                if let Some(prev) = last[t as usize] {
+                    assert!(i > prev, "thread {t}: {i} popped after {prev}");
+                }
+                last[t as usize] = Some(i);
+            }
+            assert!(last.iter().all(|l| *l == Some(499)));
+        }
+
+        #[test]
+        fn interleaved_push_pop() {
+            let q = SegQueue::new();
+            for round in 0..100u32 {
+                q.push(round);
+                q.push(round + 1000);
+                assert!(q.pop().is_some());
+            }
+            assert_eq!(q.len(), 100);
+            let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(drained.len(), 100);
         }
     }
 }
