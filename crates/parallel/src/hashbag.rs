@@ -294,6 +294,60 @@ mod tests {
     }
 
     #[test]
+    fn probes_wrap_within_chunk_boundaries() {
+        // Boundary audit: a probe sequence starting near the top of a
+        // chunk must wrap to the chunk's own first slot (`lo`), never
+        // walk into the next chunk — walking on would break both the
+        // reservation-guarantees-a-slot invariant (the reservation was
+        // taken in *this* chunk) and the O(λ + t) extraction bound
+        // (elements would land beyond the scanned prefix). Forcing the
+        // wrap: chunk 0 is [0, 256); insert many values whose hash all
+        // lands on the last few slots so their probes must wrap to 0.
+        let mut colliders: Vec<u32> =
+            (0..u32::MAX).filter(|&v| hash32(v) as usize % LAMBDA >= LAMBDA - 4).take(64).collect();
+        assert_eq!(colliders.len(), 64);
+        let mut bag = HashBag::new(LAMBDA); // chunk 0 usable = 192 > 64
+        for &v in &colliders {
+            bag.insert(v);
+        }
+        assert_eq!(bag.len(), 64);
+        let mut got = bag.extract_all();
+        got.sort_unstable();
+        colliders.sort_unstable();
+        assert_eq!(got, colliders, "a wrapped probe lost or duplicated an element");
+    }
+
+    #[test]
+    fn boundary_collisions_across_chunk_advance() {
+        // Same audit one chunk deeper: fill chunk 0 past its load limit
+        // so inserts advance to chunk 1 ([256, 768), size 512), then
+        // aim at chunk 1's top slots and verify the wrap stays inside
+        // [256, 768).
+        let chunk1_size = 2 * LAMBDA;
+        let colliders: Vec<u32> = (0..u32::MAX)
+            .filter(|&v| hash32(v) as usize % chunk1_size >= chunk1_size - 4)
+            .take(96)
+            .collect();
+        let fill = LAMBDA as u32; // > chunk 0's 192-slot load limit
+        let mut bag = HashBag::new(1000);
+        let mut expected: Vec<u32> = Vec::new();
+        for v in 0..fill {
+            // Offset the filler so it cannot collide with `colliders`.
+            let v = v + 1_000_000_000;
+            bag.insert(v);
+            expected.push(v);
+        }
+        for &v in &colliders {
+            bag.insert(v);
+            expected.push(v);
+        }
+        let mut got = bag.extract_all();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
     fn extraction_cost_scales_with_contents_not_capacity() {
         // Behavioral proxy for the O(λ + t) claim: a huge-capacity bag
         // with one element must only scan the first chunk. We assert the

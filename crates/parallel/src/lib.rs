@@ -15,10 +15,12 @@
 //! * [`instrument`] — work / subround / burdened-span accounting, the
 //!   Cilkview substitute described in `DESIGN.md`.
 //! * [`pool`] — helpers for running under a fixed rayon thread count
-//!   (used by the scalability experiments).
+//!   plus the scheduler's steal/split counters (used by the scalability
+//!   experiments).
 //!
-//! Scheduling is delegated to rayon's work-stealing fork–join runtime,
-//! which matches the paper's binary fork–join model (Sec. 2).
+//! Scheduling is delegated to rayon's work-stealing fork–join runtime
+//! (offline: the shim's persistent Chase–Lev pool), which matches the
+//! paper's binary fork–join model (Sec. 2).
 
 pub mod hashbag;
 pub mod histogram;

@@ -1,13 +1,18 @@
-//! Thread-pool helpers for the scalability experiments.
+//! Thread-pool helpers and scheduler instrumentation for the
+//! scalability experiments.
 //!
 //! The paper's Fig. 10 sweeps core counts (1, 2, 4, …, 96h). Rayon's
 //! global pool is process-wide, so the sweep runs each configuration in
-//! a dedicated local pool via [`with_threads`].
+//! a dedicated local pool via [`with_threads`]. The work-stealing
+//! runtime under the rayon shim exposes steal/split counters
+//! ([`scheduler_stats`], [`scheduler_delta`]) so the benchmarks can
+//! report *how* a skewed frontier was balanced, not just how fast it
+//! ran.
 
 /// Runs `f` inside a rayon pool with exactly `threads` worker threads.
 ///
-/// Nested rayon operations inside `f` use that pool. Panics from `f`
-/// propagate.
+/// Nested rayon operations inside `f` — including ones issued from the
+/// pool's own worker threads — use that pool. Panics from `f` propagate.
 pub fn with_threads<T, F>(threads: usize, f: F) -> T
 where
     F: FnOnce() -> T + Send,
@@ -24,6 +29,43 @@ where
 /// Number of threads rayon would use by default on this machine.
 pub fn default_threads() -> usize {
     rayon::current_num_threads()
+}
+
+/// Work-stealing scheduler counters (monotonic, process-wide).
+///
+/// `steals` counts tasks taken from another worker's deque; `splits`
+/// counts range tasks halved to publish stealable work. Both come from
+/// the offline rayon shim's runtime — when swapping in the real rayon
+/// crate, this module is the one shim-specific consumer to gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Tasks executed by a worker other than the one that published them.
+    pub steals: u64,
+    /// Task splits performed to expose stealable work.
+    pub splits: u64,
+}
+
+/// Reads the scheduler counters accumulated since process start.
+pub fn scheduler_stats() -> SchedulerStats {
+    let snap = rayon::stats::snapshot();
+    SchedulerStats { steals: snap.steals, splits: snap.splits }
+}
+
+/// Runs `f` and returns its result along with the steal/split activity
+/// it caused. Counter deltas include any concurrent parallel work in
+/// the process; callers that need attribution should run alone (as the
+/// benchmarks do).
+pub fn scheduler_delta<T>(f: impl FnOnce() -> T) -> (T, SchedulerStats) {
+    let before = scheduler_stats();
+    let result = f();
+    let after = scheduler_stats();
+    (
+        result,
+        SchedulerStats {
+            steals: after.steals - before.steals,
+            splits: after.splits - before.splits,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -49,5 +91,35 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         with_threads(0, || ());
+    }
+
+    #[test]
+    fn worker_threads_see_pool_thread_count() {
+        // Regression for the install-override bug: nested parallel
+        // calls issued from worker threads must inherit the pool's
+        // thread count, not the machine default.
+        let counts: Vec<usize> = with_threads(3, || {
+            (0u32..1 << 14).into_par_iter().map(|_| rayon::current_num_threads()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn scheduler_delta_counts_splits_under_parallelism() {
+        let (sum, delta) = scheduler_delta(|| {
+            with_threads(4, || (0..200_000u64).into_par_iter().map(|x| x ^ 1).sum::<u64>())
+        });
+        assert_eq!(sum, (0..200_000u64).map(|x| x ^ 1).sum::<u64>());
+        assert!(delta.splits > 0, "a 200k-element job on 4 threads must split");
+    }
+
+    #[test]
+    fn scheduler_stats_are_monotonic() {
+        let a = scheduler_stats();
+        with_threads(2, || {
+            let _: u64 = (0..100_000u64).into_par_iter().sum();
+        });
+        let b = scheduler_stats();
+        assert!(b.steals >= a.steals && b.splits >= a.splits);
     }
 }

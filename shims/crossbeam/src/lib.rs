@@ -1,68 +1,105 @@
 //! Offline shim for the `crossbeam` API subset this workspace uses:
 //! [`queue::SegQueue`], a concurrent FIFO queue.
 //!
-//! The real crate implements a lock-free segmented queue. This shim
-//! shards the queue across per-thread home shards: each pushing thread
-//! owns a cache-line-aligned shard (assigned round-robin on first use)
-//! and pushes touch only that shard's lock, so concurrent pushes from
-//! different threads proceed without contending — the property that
-//! matters for the bucket structures, whose `DecreaseKey` pushes are
-//! the hot path while pops happen in exclusive phases. An earlier
-//! revision used a single `Mutex<VecDeque>`; its per-push lock traffic
-//! made HBS *slower* than the 1-bucket baseline on `hcns` (see
-//! ROADMAP.md).
+//! Like the real crate, the queue is **lock-free and segmented**: values
+//! live in fixed-size segments linked by CAS-published `next` pointers.
+//! A push reserves a slot with one `fetch_add` on the tail segment's
+//! cursor, writes the value, and flips the slot's ready flag — no lock,
+//! no allocation except once per segment, so concurrent `DecreaseKey`
+//! pushes from different workers proceed without lock traffic (the
+//! property the bucket structures' hot path needs; earlier revisions
+//! used a single `Mutex<VecDeque>`, then per-thread Mutex shards — see
+//! ROADMAP.md for the benchmark history).
 //!
-//! Ordering: FIFO per pushing thread (its shard preserves insertion
-//! order); interleavings across threads are unordered, exactly like
-//! concurrent pushes racing into the real `SegQueue`. Swap in the real
-//! crate via the workspace `[workspace.dependencies]` entry when
-//! crates.io access is available.
+//! Segment capacity is sized from `available_parallelism` at first use,
+//! so wide machines get proportionally fewer segment handoffs per
+//! element (the old shim hard-coded 8 shards regardless of core count).
+//!
+//! Ordering: strictly FIFO in slot-reservation order — in particular
+//! FIFO per pushing thread, like the real `SegQueue`. [`queue::SegQueue::len`]
+//! and [`queue::SegQueue::is_empty`] are linearizable with respect to
+//! *completed* pushes: once a `push` has returned, the element is
+//! counted until popped (the old sharded design could report empty
+//! while a completed push sat in an unscanned shard). Pushes still in
+//! flight (slot reserved, value not yet published) may or may not be
+//! counted — they are concurrent with the query, so either answer is
+//! linearizable.
+//!
+//! Memory reclamation: drained segments are kept on the chain and freed
+//! when the queue drops, instead of epoch-based reclamation — a few
+//! hundred bytes per `seg_capacity` elements ever pushed, for a shim
+//! whose queues live one decomposition. Swap in the real crate via the
+//! workspace `[workspace.dependencies]` entry when crates.io access is
+//! available.
 
 pub mod queue {
-    use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+    use std::sync::OnceLock;
 
-    /// Shard count; power of two so the home-shard modulo is a mask.
-    const SHARDS: usize = 8;
-
-    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
-
-    thread_local! {
-        /// This thread's home shard, assigned round-robin at first use.
-        static HOME: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+    /// Slots per segment: scaled by the machine's parallelism so more
+    /// concurrent pushers amortize more pushes per segment installation.
+    fn seg_capacity() -> usize {
+        static CAP: OnceLock<usize> = OnceLock::new();
+        *CAP.get_or_init(|| {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            (threads * 64).next_power_of_two().clamp(64, 2048)
+        })
     }
 
-    /// One shard, padded to a cache line so neighboring shards' locks
-    /// never false-share.
-    #[repr(align(64))]
-    #[derive(Debug)]
-    struct Shard<T> {
-        items: Mutex<VecDeque<T>>,
+    struct Slot<T> {
+        value: UnsafeCell<MaybeUninit<T>>,
+        /// Set (release) once `value` is written; a pop that claimed
+        /// this slot spins on it to close the reserve→write window.
+        ready: AtomicBool,
     }
 
-    impl<T> Default for Shard<T> {
-        fn default() -> Self {
-            Self { items: Mutex::new(VecDeque::new()) }
+    /// A fixed-size block of slots, linked to its successor once full.
+    struct Segment<T> {
+        /// Pop cursor: slots below it are claimed. Capped at capacity.
+        low: AtomicUsize,
+        /// Push cursor: reservations ≥ capacity mean "segment full, go
+        /// to the next one" (the reserver of exactly `capacity`
+        /// installs it).
+        high: AtomicUsize,
+        slots: Box<[Slot<T>]>,
+        next: AtomicPtr<Segment<T>>,
+    }
+
+    impl<T> Segment<T> {
+        fn new() -> Box<Self> {
+            Box::new(Self {
+                low: AtomicUsize::new(0),
+                high: AtomicUsize::new(0),
+                slots: (0..seg_capacity())
+                    .map(|_| Slot {
+                        value: UnsafeCell::new(MaybeUninit::uninit()),
+                        ready: AtomicBool::new(false),
+                    })
+                    .collect(),
+                next: AtomicPtr::new(std::ptr::null_mut()),
+            })
         }
     }
 
-    /// Concurrent FIFO queue mirroring `crossbeam::queue::SegQueue`,
-    /// sharded by pushing thread.
-    #[derive(Debug)]
+    /// Concurrent lock-free FIFO queue mirroring
+    /// `crossbeam::queue::SegQueue`.
     pub struct SegQueue<T> {
-        shards: Box<[Shard<T>]>,
-        /// Shard where the last successful pop landed; scans start here
-        /// so drain loops cost O(1) amortized per element instead of
-        /// O(SHARDS).
-        cursor: AtomicUsize,
-        /// Upper bound on the element count (incremented *before* the
-        /// push lands, decremented after a successful pop). Makes
-        /// pop-on-empty and `len` O(1) — bucket structures drain every
-        /// queue once per round, most of them empty, so the empty case
-        /// is the hot one.
-        count: AtomicUsize,
+        /// Segment pops come from (drained segments stay linked behind
+        /// it for reclamation at drop).
+        head: AtomicPtr<Segment<T>>,
+        /// Segment pushes go into.
+        tail: AtomicPtr<Segment<T>>,
+        /// Start of the whole chain; only walked by `drop`.
+        first: AtomicPtr<Segment<T>>,
     }
+
+    // SAFETY: values are handed across threads (push on one, pop on
+    // another) — `T: Send` suffices; the queue's own state is all
+    // atomics plus slots governed by the reserve/ready protocol.
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
 
     impl<T> Default for SegQueue<T> {
         fn default() -> Self {
@@ -70,48 +107,173 @@ pub mod queue {
         }
     }
 
+    impl<T> std::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SegQueue").field("len", &self.len()).finish()
+        }
+    }
+
     impl<T> SegQueue<T> {
         pub fn new() -> Self {
+            let seg = Box::into_raw(Segment::new());
             Self {
-                shards: (0..SHARDS).map(|_| Shard::default()).collect(),
-                cursor: AtomicUsize::new(0),
-                count: AtomicUsize::new(0),
+                head: AtomicPtr::new(seg),
+                tail: AtomicPtr::new(seg),
+                first: AtomicPtr::new(seg),
             }
         }
 
         pub fn push(&self, value: T) {
-            let home = HOME.with(|h| *h);
-            self.count.fetch_add(1, Ordering::Relaxed);
-            self.shards[home].items.lock().expect("SegQueue poisoned").push_back(value);
+            loop {
+                let tail_ptr = self.tail.load(Ordering::Acquire);
+                let tail = unsafe { &*tail_ptr };
+                let cap = tail.slots.len();
+                let i = tail.high.fetch_add(1, Ordering::Relaxed);
+                if i < cap {
+                    unsafe { (*tail.slots[i].value.get()).write(value) };
+                    tail.slots[i].ready.store(true, Ordering::Release);
+                    return;
+                }
+                if i == cap {
+                    // Sole winner of the first overshoot: install the
+                    // next segment and publish it as the tail. SeqCst so
+                    // a pop observing a drained head (`low == cap`)
+                    // also observes the link (linearizable emptiness).
+                    // CAS, not store: helping pushers may already have
+                    // advanced the tail (even several segments ahead if
+                    // this thread was preempted), and a blind store
+                    // would drag it backwards onto a full segment.
+                    let next = Box::into_raw(Segment::new());
+                    tail.next.store(next, Ordering::SeqCst);
+                    let _ = self.tail.compare_exchange(
+                        tail_ptr,
+                        next,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                } else {
+                    // Another pusher is installing; wait for the link,
+                    // help advance the tail, and retry there.
+                    let mut next;
+                    loop {
+                        next = tail.next.load(Ordering::Acquire);
+                        if !next.is_null() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    let _ = self.tail.compare_exchange(
+                        tail_ptr,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+            }
         }
 
         pub fn pop(&self) -> Option<T> {
-            if self.count.load(Ordering::Relaxed) == 0 {
-                return None;
-            }
-            let start = self.cursor.load(Ordering::Relaxed);
-            for i in 0..SHARDS {
-                let shard = (start + i) & (SHARDS - 1);
-                let popped =
-                    self.shards[shard].items.lock().expect("SegQueue poisoned").pop_front();
-                if popped.is_some() {
-                    self.cursor.store(shard, Ordering::Relaxed);
-                    self.count.fetch_sub(1, Ordering::Relaxed);
-                    return popped;
+            loop {
+                let head_ptr = self.head.load(Ordering::Acquire);
+                let head = unsafe { &*head_ptr };
+                let cap = head.slots.len();
+                loop {
+                    let low = head.low.load(Ordering::Relaxed);
+                    if low >= cap {
+                        break; // segment drained; advance below
+                    }
+                    let high = head.high.load(Ordering::Acquire).min(cap);
+                    if low >= high {
+                        return None; // nothing reserved past `low` anywhere
+                    }
+                    if head
+                        .low
+                        .compare_exchange_weak(low, low + 1, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        // Claimed slot `low` exclusively; wait out the
+                        // pusher's reserve→write window if it is still
+                        // open (bounded: the pusher is between two
+                        // instructions).
+                        while !head.slots[low].ready.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        return Some(unsafe { (*head.slots[low].value.get()).assume_init_read() });
+                    }
                 }
+                // Fully-claimed segment: move to the successor. A
+                // completed push in a later segment implies the link is
+                // visible (SeqCst pairing with the installer), so a
+                // null `next` here really means empty.
+                let next = head.next.load(Ordering::SeqCst);
+                if next.is_null() {
+                    return None;
+                }
+                let _ =
+                    self.head.compare_exchange(head_ptr, next, Ordering::AcqRel, Ordering::Relaxed);
             }
-            None
         }
 
-        /// Element count. Exact when the queue is quiescent; while
-        /// pushes are in flight it may transiently overcount (like the
-        /// real `SegQueue`, whose `len` is also racy under concurrency).
+        /// Number of elements: completed pushes not yet popped, plus
+        /// possibly pushes whose slot is reserved but still being
+        /// written (those are concurrent, so counting them is
+        /// linearizable). Cost is O(live segments).
         pub fn len(&self) -> usize {
-            self.count.load(Ordering::Relaxed)
+            let mut seg_ptr = self.head.load(Ordering::Acquire);
+            let mut total = 0usize;
+            while !seg_ptr.is_null() {
+                let seg = unsafe { &*seg_ptr };
+                let cap = seg.slots.len();
+                let high = seg.high.load(Ordering::Acquire).min(cap);
+                let low = seg.low.load(Ordering::Acquire).min(cap);
+                total += high.saturating_sub(low);
+                seg_ptr = seg.next.load(Ordering::Acquire);
+            }
+            total
         }
 
+        /// Whether the queue holds no elements. Linearizable with
+        /// respect to completed pushes: once `push` returns, this is
+        /// `false` until the element is popped.
         pub fn is_empty(&self) -> bool {
-            self.len() == 0
+            let mut seg_ptr = self.head.load(Ordering::Acquire);
+            while !seg_ptr.is_null() {
+                let seg = unsafe { &*seg_ptr };
+                let cap = seg.slots.len();
+                let high = seg.high.load(Ordering::Acquire).min(cap);
+                if seg.low.load(Ordering::Acquire).min(cap) < high {
+                    return false;
+                }
+                seg_ptr = seg.next.load(Ordering::Acquire);
+            }
+            true
+        }
+    }
+
+    impl<T> Drop for SegQueue<T> {
+        fn drop(&mut self) {
+            // Walk the whole chain from `first`, dropping unpopped
+            // values (only segments at or after `head` can hold any)
+            // and freeing every segment.
+            let head = *self.head.get_mut();
+            let mut seg_ptr = *self.first.get_mut();
+            let mut at_or_after_head = false;
+            while !seg_ptr.is_null() {
+                at_or_after_head |= seg_ptr == head;
+                let mut seg = unsafe { Box::from_raw(seg_ptr) };
+                if at_or_after_head {
+                    let cap = seg.slots.len();
+                    let low = (*seg.low.get_mut()).min(cap);
+                    let high = (*seg.high.get_mut()).min(cap);
+                    for slot in &mut seg.slots[low..high] {
+                        // With `&mut self` no push is in flight, so
+                        // every reserved slot is ready.
+                        debug_assert!(*slot.ready.get_mut());
+                        unsafe { slot.value.get_mut().assume_init_drop() };
+                    }
+                }
+                seg_ptr = *seg.next.get_mut();
+            }
         }
     }
 
@@ -166,7 +328,7 @@ pub mod queue {
                 }
             });
             // Within each pushing thread, pops must come out in push
-            // order (FIFO per shard).
+            // order (global FIFO implies per-producer FIFO).
             let mut last = [None::<u32>; 4];
             while let Some((t, i)) = q.pop() {
                 if let Some(prev) = last[t as usize] {
@@ -188,6 +350,70 @@ pub mod queue {
             assert_eq!(q.len(), 100);
             let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
             assert_eq!(drained.len(), 100);
+        }
+
+        #[test]
+        fn crosses_many_segments() {
+            // Push far past several segment installations, then drain
+            // and verify strict FIFO across every boundary.
+            let q = SegQueue::new();
+            let n = (seg_capacity() * 5 + 7) as u32;
+            for i in 0..n {
+                q.push(i);
+            }
+            assert_eq!(q.len(), n as usize);
+            for i in 0..n {
+                assert_eq!(q.pop(), Some(i), "FIFO broke at {i}");
+            }
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn drop_releases_unpopped_values() {
+            // Heap values left in the queue (across segment boundaries)
+            // must be dropped exactly once — run under the test harness
+            // this doubles as a leak/double-free canary for Drop.
+            let q = SegQueue::new();
+            for i in 0..(seg_capacity() * 2 + 3) {
+                q.push(Box::new(i));
+            }
+            for _ in 0..seg_capacity() {
+                q.pop();
+            }
+            drop(q);
+        }
+
+        #[test]
+        fn completed_pushes_are_visible_to_is_empty() {
+            // Linearizability: once a push has *returned* (observed via
+            // the `completed` counter, bumped after each push), nothing
+            // ever pops here, so `is_empty` must answer false and `len`
+            // must be at least the completed count.
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let q = SegQueue::new();
+            let completed = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let q = &q;
+                let completed = &completed;
+                s.spawn(move || {
+                    for i in 0..20_000u32 {
+                        q.push(i);
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                });
+                s.spawn(move || loop {
+                    let done = completed.load(Ordering::Acquire);
+                    if done > 0 {
+                        assert!(!q.is_empty(), "{done} pushes completed, none popped");
+                        assert!(q.len() >= done, "len {} < completed {done}", q.len());
+                    }
+                    if done == 20_000 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            });
+            assert_eq!(q.len(), 20_000);
         }
     }
 }

@@ -1,0 +1,123 @@
+//! The Chase–Lev work-stealing deque backing each pool worker.
+//!
+//! Owner-side `push`/`take` operate on the bottom end without CAS in the
+//! common case; thieves `steal` from the top end with a CAS. The
+//! implementation follows Lê, Pop, Cohen & Zappa Nardelli, *"Correct and
+//! Efficient Work-Stealing for Weak Memory Models"* (PPoPP '13), with a
+//! fixed-capacity circular buffer instead of a growable one: the number
+//! of outstanding tasks per worker is bounded by the split depth of
+//! block jobs plus the `join` nesting depth, both logarithmic, so a
+//! fixed buffer never fills in practice. If it ever does, [`Deque::push`]
+//! reports failure and the scheduler degrades gracefully by running the
+//! task inline instead of publishing it.
+//!
+//! Element slots are plain memory read with `ptr::read` under the
+//! protocol's fences; a thief's speculative read racing an owner wrap is
+//! discarded when its `top` CAS fails, the same benign-race argument
+//! crossbeam-deque relies on.
+
+use crate::registry::Task;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+
+/// Slots per deque. Must be a power of two.
+const CAPACITY: usize = 1024;
+const MASK: usize = CAPACITY - 1;
+
+/// A fixed-capacity Chase–Lev deque of [`Task`]s.
+pub(crate) struct Deque {
+    /// Next slot the owner will push into (owner-written).
+    bottom: AtomicIsize,
+    /// Next slot thieves will steal from (CAS-advanced).
+    top: AtomicIsize,
+    buffer: Box<[UnsafeCell<MaybeUninit<Task>>]>,
+}
+
+// SAFETY: all cross-thread access to `buffer` follows the Chase–Lev
+// protocol: a slot is read by at most one party (the owner's `take` or
+// the thief whose `top` CAS succeeds), and the fences below order the
+// element writes against the index publications.
+unsafe impl Sync for Deque {}
+unsafe impl Send for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Self {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: (0..CAPACITY).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+        }
+    }
+
+    /// Owner-only: publishes `task` at the bottom. Fails (returning the
+    /// task) when the buffer is full.
+    pub(crate) fn push(&self, task: Task) -> Result<(), Task> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= CAPACITY as isize {
+            return Err(task);
+        }
+        unsafe { (*self.buffer[b as usize & MASK].get()).write(task) };
+        // Publish the element before the new bottom becomes visible to
+        // thieves.
+        fence(Ordering::Release);
+        self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed task (LIFO end).
+    pub(crate) fn take(&self) -> Option<Task> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against the top read: a concurrent
+        // thief must either see the lowered bottom or lose the CAS race.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty.
+            let task = unsafe { (*self.buffer[b as usize & MASK].get()).assume_init_read() };
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                won.then_some(task)
+            } else {
+                Some(task)
+            }
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steals the oldest task (FIFO end). Returns `None`
+    /// when the deque is observed empty; internally retries lost CAS
+    /// races against other thieves.
+    pub(crate) fn steal(&self) -> Option<Task> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Speculative read; only valid if the CAS below confirms the
+            // slot was still ours to take.
+            let task = unsafe { (*self.buffer[t as usize & MASK].get()).assume_init_read() };
+            if self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(task);
+            }
+            // Lost the race (another thief or the owner's last-element
+            // pop); re-examine the deque.
+        }
+    }
+}

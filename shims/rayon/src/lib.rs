@@ -2,25 +2,54 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! stands in for rayon behind the same paths (`rayon::prelude::*`,
-//! `ThreadPoolBuilder`, `join`, `current_num_threads`). It is a *real*
-//! data-parallel implementation — consumers split the source index
-//! space into contiguous blocks and run them on `std::thread::scope`
-//! threads — just without work stealing: blocks are statically
-//! partitioned, which is adequate for the regular, flat loops in this
-//! workspace. Swap back to the real rayon by editing the workspace
-//! `[workspace.dependencies]` entry; no call site changes.
+//! `ThreadPoolBuilder`, `join`, `current_num_threads`). Unlike the
+//! earlier revisions of this shim — which spawned scoped OS threads per
+//! operation over statically partitioned blocks — scheduling now runs
+//! on a **persistent work-stealing pool**: one Chase–Lev deque per
+//! worker ([`mod@deque`]), lazy binary splitting of index ranges, and a
+//! global injector ([`mod@registry`]). A parallel operation submits one
+//! task covering its whole index space; executors peel halves off onto
+//! their own deques down to a grain, so skewed workloads (power-law
+//! frontiers where a few blocks hold most of the work) rebalance by
+//! stealing instead of serializing on one thread.
+//!
+//! Thread-count semantics: the lazily created global pool is sized by
+//! `RAYON_NUM_THREADS` / `available_parallelism`; every
+//! [`ThreadPool`] owns its own equally real pool, and
+//! [`ThreadPool::install`] runs the closure *on a pool worker* (as the
+//! real rayon does), so its parallel operations — nested ones included
+//! — stay on that pool and inherit its thread count. The old
+//! per-operation design stored the install override in a `thread_local`
+//! that spawned workers did not inherit, silently reverting nested
+//! calls to the machine default; workers now carry their registry, so
+//! the count cannot be lost. [`join`] reuses pool workers — the second
+//! closure becomes a stealable task — instead of spawning an OS thread
+//! per call.
 //!
 //! Supported surface:
 //! * `into_par_iter()` on integer ranges, `par_iter()` on slices/`Vec`
 //! * adapters: `map`, `filter`, `filter_map`, `enumerate`
 //! * consumers: `collect` (into `Vec`), `for_each`, `count`, `sum`,
 //!   `max`, `min`, `any`, `all`
-//! * `par_sort_unstable` on slices
-//! * `ThreadPoolBuilder` / `ThreadPool::install` (scoped thread-count
-//!   override), `current_num_threads`, `join`
+//! * `par_sort_unstable` on slices (join-based parallel mergesort)
+//! * `ThreadPoolBuilder` / `ThreadPool::install`, `current_num_threads`,
+//!   `join`
+//! * [`stats`] — steal/split counters (shim-specific; consumed by
+//!   `kcore_parallel::pool`)
+//!
+//! Swap back to the real rayon by editing the workspace
+//! `[workspace.dependencies]` entry; call sites need no changes (only
+//! the shim-specific [`stats`] consumers would need gating).
 
-use std::cell::Cell;
+mod deque;
+mod registry;
+
+use registry::{Latch, RegistryShared, Task};
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 pub mod prelude {
     pub use crate::{
@@ -29,24 +58,50 @@ pub mod prelude {
     };
 }
 
-/// Sources shorter than this run on the calling thread: spawning costs
+/// Scheduler introspection: process-wide steal/split counters. Not part
+/// of the real rayon API — consumers must gate on the shim.
+pub mod stats {
+    /// Monotonic counters since process start.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Snapshot {
+        /// Tasks taken from another worker's deque.
+        pub steals: u64,
+        /// Range tasks halved to publish stealable work.
+        pub splits: u64,
+    }
+
+    /// Reads the current counter values.
+    pub fn snapshot() -> Snapshot {
+        Snapshot { steals: crate::registry::steal_count(), splits: crate::registry::split_count() }
+    }
+}
+
+/// Sources shorter than this run on the calling thread: scheduling costs
 /// more than it saves.
 const MIN_PAR_LEN: usize = 2048;
 
-thread_local! {
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+/// Target number of grain-sized leaf tasks per worker. More leaves mean
+/// finer stealing granularity at slightly higher task overhead.
+const TASKS_PER_THREAD: usize = 8;
+
+/// Smallest range a task is split down to.
+const MIN_GRAIN: usize = 128;
 
 /// Number of worker threads parallel operations on this thread will use.
 ///
 /// Like the real rayon, the `RAYON_NUM_THREADS` environment variable
 /// overrides the machine default (useful to force the multi-threaded
-/// code paths on single-core runners and vice versa).
+/// code paths on single-core runners and vice versa). On a pool worker
+/// (including inside [`ThreadPool::install`], whose closure runs on
+/// one) this is the owning pool's thread count.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+    if let Some((worker, _)) = registry::current_worker() {
+        return worker.num_threads();
+    }
+    default_threads()
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
         std::env::var("RAYON_NUM_THREADS")
@@ -57,7 +112,136 @@ fn default_threads() -> usize {
     })
 }
 
+/// The registry new jobs from this thread are submitted to: the
+/// worker's own registry on a pool thread, else the global one.
+fn effective_registry() -> Arc<RegistryShared> {
+    if let Some((worker, _)) = registry::current_worker() {
+        return worker;
+    }
+    registry::global_registry()
+}
+
+// ---- block jobs ------------------------------------------------------
+
+/// Shared state of one `run_blocks` invocation, referenced (type-erased)
+/// by every task of the job. The submitting thread keeps it alive on its
+/// stack until the latch fires, which happens only after every index has
+/// been executed — so the erased references never dangle.
+struct BlockJob<'f, R> {
+    f: &'f (dyn Fn(Range<usize>) -> R + Sync),
+    /// `(range start, result)` per executed leaf; sorted on completion.
+    results: Mutex<Vec<(usize, R)>>,
+    /// Indices not yet executed; the job is done at zero.
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+unsafe fn run_block<R: Send>(job: *const (), lo: usize, hi: usize) {
+    let job = unsafe { &*(job as *const BlockJob<'_, R>) };
+    match catch_unwind(AssertUnwindSafe(|| (job.f)(lo..hi))) {
+        Ok(result) => {
+            job.results.lock().expect("block job poisoned").push((lo, result));
+        }
+        Err(payload) => {
+            let mut first = job.panic.lock().expect("block job poisoned");
+            if first.is_none() {
+                *first = Some(payload);
+            }
+        }
+    }
+    if job.remaining.fetch_sub(hi - lo, Ordering::AcqRel) == hi - lo {
+        job.latch.set();
+    }
+}
+
+/// Runs `f` over `0..n` on the effective pool as one splittable job and
+/// returns the per-leaf results ordered by range start (a partition of
+/// the source). Falls back to a single inline call when parallelism
+/// cannot pay off.
+fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || n < MIN_PAR_LEN {
+        return vec![f(0..n)];
+    }
+    let grain = (n / (threads * TASKS_PER_THREAD)).max(MIN_GRAIN);
+    let job = BlockJob {
+        f,
+        results: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+        latch: Latch::new(),
+    };
+    let task = Task {
+        job: &job as *const BlockJob<'_, R> as *const (),
+        runner: run_block::<R>,
+        lo: 0,
+        hi: n,
+        grain,
+    };
+    let pool = effective_registry();
+    match registry::current_worker() {
+        Some((worker, index)) if Arc::ptr_eq(&worker, &pool) => {
+            // Nested call on a pool worker: seed our own deque and keep
+            // executing (our job's tasks, or anyone else's) until done.
+            if worker.push_local(index, task).is_ok() {
+                registry::work_until(&worker, index, || job.latch.probe());
+            } else {
+                unsafe { run_block::<R>(task.job, 0, n) };
+            }
+        }
+        _ => {
+            pool.inject(task);
+            job.latch.wait();
+        }
+    }
+    if let Some(payload) = job.panic.into_inner().expect("block job poisoned") {
+        resume_unwind(payload);
+    }
+    let mut results = job.results.into_inner().expect("block job poisoned");
+    results.sort_unstable_by_key(|&(lo, _)| lo);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---- join ------------------------------------------------------------
+
+/// Shared state of one `join` call's second closure, referenced
+/// (type-erased) by the task handed to the pool.
+struct JoinJob<B, RB> {
+    closure: std::cell::UnsafeCell<Option<B>>,
+    result: std::cell::UnsafeCell<Option<RB>>,
+    panic: std::cell::UnsafeCell<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+// SAFETY: the cells are touched by exactly one executor (whoever runs
+// the task), and the caller reads them only after the latch's
+// release/acquire handshake.
+unsafe impl<B: Send, RB: Send> Sync for JoinJob<B, RB> {}
+
+unsafe fn run_join<B, RB>(job: *const (), _lo: usize, _hi: usize)
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let job = unsafe { &*(job as *const JoinJob<B, RB>) };
+    let closure = unsafe { (*job.closure.get()).take() }.expect("join task executed twice");
+    match catch_unwind(AssertUnwindSafe(closure)) {
+        Ok(result) => unsafe { *job.result.get() = Some(result) },
+        Err(payload) => unsafe { *job.panic.get() = Some(payload) },
+    }
+    job.latch.set();
+}
+
 /// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` becomes a stealable pool task; `a` runs on the calling thread.
+/// On a worker, `b` goes onto the worker's own deque (and is usually
+/// popped right back — the cheap fork–join fast path); from outside the
+/// pool it is injected. No OS thread is spawned either way.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -70,12 +254,69 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon-shim: join task panicked"))
-    })
+    let job = JoinJob::<B, RB> {
+        closure: std::cell::UnsafeCell::new(Some(b)),
+        result: std::cell::UnsafeCell::new(None),
+        panic: std::cell::UnsafeCell::new(None),
+        latch: Latch::new(),
+    };
+    let job_ptr = &job as *const JoinJob<B, RB> as *const ();
+    let task = Task { job: job_ptr, runner: run_join::<B, RB>, lo: 0, hi: 0, grain: 0 };
+    let pool = effective_registry();
+    let ra = match registry::current_worker() {
+        Some((worker, index)) if Arc::ptr_eq(&worker, &pool) => {
+            if worker.push_local(index, task).is_err() {
+                // Deque full (pathological nesting): run sequentially.
+                let ra = a();
+                unsafe { run_join::<B, RB>(job_ptr, 0, 0) };
+                return unpack_join(Ok(ra), &job);
+            }
+            let ra = catch_unwind(AssertUnwindSafe(a));
+            // Reclaim `b`: pop our deque back down to it. Anything above
+            // it is other jobs' pending work pushed while we executed
+            // `a` — run it, it cannot be ours. If the deque runs out,
+            // `b` was stolen (or already ran in a nested wait): keep the
+            // pool busy until its latch fires.
+            while !job.latch.probe() {
+                match worker.take_local(index) {
+                    Some(t) if std::ptr::eq(t.job, job_ptr) => {
+                        registry::execute(&worker, index, t);
+                        break;
+                    }
+                    Some(t) => registry::execute(&worker, index, t),
+                    None => {
+                        registry::work_until(&worker, index, || job.latch.probe());
+                        break;
+                    }
+                }
+            }
+            ra
+        }
+        _ => {
+            pool.inject(task);
+            let ra = catch_unwind(AssertUnwindSafe(a));
+            job.latch.wait();
+            ra
+        }
+    };
+    unpack_join(ra, &job)
 }
+
+/// Resolves a `join` call once both branches have settled: `a`'s panic
+/// wins (it happened first), then `b`'s, then both results.
+fn unpack_join<B, RA, RB>(ra: Result<RA, Box<dyn Any + Send>>, job: &JoinJob<B, RB>) -> (RA, RB) {
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    };
+    if let Some(payload) = unsafe { (*job.panic.get()).take() } {
+        resume_unwind(payload);
+    }
+    let rb = unsafe { (*job.result.get()).take() }.expect("join: second branch never ran");
+    (ra, rb)
+}
+
+// ---- thread pools ----------------------------------------------------
 
 /// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
 #[derive(Debug)]
@@ -107,64 +348,56 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool { num_threads: n })
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { registry: registry::Registry::new(n) })
     }
 }
 
-/// A "pool": parallel operations run under [`ThreadPool::install`] use
-/// exactly this many threads. Threads are spawned per operation (scoped),
-/// not kept alive — acceptable for the coarse-grained loops here.
+/// A real pool: `num_threads` persistent workers with their own deques.
+/// Dropping the pool joins its workers.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: registry::Registry,
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.shared.num_threads()
     }
 
+    /// Executes `op` **on a pool worker** (as the real rayon does) and
+    /// returns its result; the caller blocks meanwhile. Every parallel
+    /// operation `op` issues therefore takes the cheap worker path —
+    /// pushed on the worker's own deque and executed in place, with no
+    /// cross-thread wakeup per operation — and inherits this pool's
+    /// thread count, nested or not. Called from a worker of this very
+    /// pool, `op` just runs in place.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
-        let result = op();
-        POOL_THREADS.with(|c| c.set(prev));
-        result
-    }
-}
-
-/// Splits `0..n` into at most `current_num_threads()` contiguous blocks
-/// and evaluates `f` on each, in parallel when it pays off. Results come
-/// back in block order.
-fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<R> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = current_num_threads();
-    if threads <= 1 || n < MIN_PAR_LEN {
-        return vec![f(0..n)];
-    }
-    let chunk = n.div_ceil(threads.min(n));
-    // Recompute from the rounded-up chunk size: ceil(n/chunk) can be
-    // smaller than the thread count, and a block count based on threads
-    // would put trailing blocks past the end of the source.
-    let blocks = n.div_ceil(chunk);
-    let mut results: Vec<Option<R>> = (0..blocks).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (b, slot) in results.iter_mut().enumerate() {
-            let lo = b * chunk;
-            let hi = ((b + 1) * chunk).min(n);
-            s.spawn(move || *slot = Some(f(lo..hi)));
+        if let Some((worker, _)) = registry::current_worker() {
+            if Arc::ptr_eq(&worker, &self.registry.shared) {
+                return op();
+            }
         }
-    });
-    results.into_iter().map(|r| r.expect("rayon-shim: worker block panicked")).collect()
+        let job = JoinJob::<OP, R> {
+            closure: std::cell::UnsafeCell::new(Some(op)),
+            result: std::cell::UnsafeCell::new(None),
+            panic: std::cell::UnsafeCell::new(None),
+            latch: Latch::new(),
+        };
+        let task = Task {
+            job: &job as *const JoinJob<OP, R> as *const (),
+            runner: run_join::<OP, R>,
+            lo: 0,
+            hi: 0,
+            grain: 0,
+        };
+        self.registry.shared.inject(task);
+        job.latch.wait();
+        unpack_join(Ok(()), &job).1
+    }
 }
 
 /// The core shim trait. Every iterator is backed by an indexed source of
@@ -542,6 +775,30 @@ pub trait ParallelSliceMut<T: Send> {
         T: Ord;
 }
 
+/// Raw pointer that may cross threads; the mergesort recursion hands
+/// each branch a disjoint region.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the recursion below only ever touches disjoint index ranges
+// through copies of the same pointer.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_sort_unstable(&mut self)
     where
@@ -553,48 +810,61 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
             self.sort_unstable();
             return;
         }
-        let runs = threads.min(n);
-        let chunk = n.div_ceil(runs);
-        std::thread::scope(|s| {
-            for piece in self.chunks_mut(chunk) {
-                s.spawn(move || piece.sort_unstable());
-            }
-        });
-        // Bottom-up merge of the sorted runs through a scratch buffer.
+        // Join-based parallel mergesort through a scratch buffer.
         // Elements are moved bitwise (never dropped): scratch keeps
         // len = 0 and is used as raw storage only. A panicking `Ord`
         // impl during the merge would leak/duplicate elements of a
         // non-Copy `T`; all users in this workspace sort Copy types.
         let mut scratch: Vec<T> = Vec::with_capacity(n);
-        let base = self.as_mut_ptr();
-        let tmp = scratch.as_mut_ptr();
-        let mut width = chunk;
-        while width < n {
-            let mut lo = 0;
-            while lo + width < n {
-                let mid = lo + width;
-                let hi = (lo + 2 * width).min(n);
-                // SAFETY: lo < mid < hi <= n; merge_runs moves each
-                // element of self[lo..hi] exactly once via tmp.
-                unsafe { merge_runs(base, tmp, lo, mid, hi) };
-                lo = hi;
-            }
-            width *= 2;
-        }
+        let grain = (n / (threads * 2)).max(MIN_PAR_LEN / 2);
+        // SAFETY: base and scratch are disjoint allocations of n slots.
+        unsafe { par_merge_sort(self.as_mut_ptr(), scratch.as_mut_ptr(), 0, n, grain) };
     }
 }
 
-/// Merges the sorted runs `base[lo..mid]` and `base[mid..hi]` in place,
-/// using `tmp` (capacity >= hi - lo) as scratch.
+/// Sorts `base[lo..hi]`: recursively sorts both halves (in parallel via
+/// [`join`]) and merges them through `tmp[lo..hi]`.
 ///
 /// # Safety
 ///
-/// `base` must be valid for reads/writes over `lo..hi`, `tmp` for
-/// writes over `0..hi - lo`, and the two allocations must not overlap.
+/// `base` and `tmp` must each be valid for reads/writes over `lo..hi`
+/// and must not overlap; no other thread may touch that region of
+/// either for the duration of the call.
+unsafe fn par_merge_sort<T: Ord + Send>(
+    base: *mut T,
+    tmp: *mut T,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+) {
+    let len = hi - lo;
+    if len <= grain {
+        unsafe { std::slice::from_raw_parts_mut(base.add(lo), len) }.sort_unstable();
+        return;
+    }
+    let mid = lo + len / 2;
+    let base_ptr = SendPtr(base);
+    let tmp_ptr = SendPtr(tmp);
+    join(
+        // SAFETY: the two branches own disjoint ranges of both buffers.
+        move || unsafe { par_merge_sort(base_ptr.get(), tmp_ptr.get(), lo, mid, grain) },
+        move || unsafe { par_merge_sort(base_ptr.get(), tmp_ptr.get(), mid, hi, grain) },
+    );
+    unsafe { merge_runs(base, tmp, lo, mid, hi) };
+}
+
+/// Merges the sorted runs `base[lo..mid]` and `base[mid..hi]` in place,
+/// using `tmp[lo..hi]` as scratch (so sibling merges in the parallel
+/// recursion touch disjoint scratch regions).
+///
+/// # Safety
+///
+/// `base` and `tmp` must be valid for reads/writes over `lo..hi`, and
+/// the two allocations must not overlap.
 unsafe fn merge_runs<T: Ord>(base: *mut T, tmp: *mut T, lo: usize, mid: usize, hi: usize) {
     let mut i = lo;
     let mut j = mid;
-    let mut k = 0usize;
+    let mut k = lo;
     while i < mid && j < hi {
         if *base.add(j) < *base.add(i) {
             std::ptr::copy_nonoverlapping(base.add(j), tmp.add(k), 1);
@@ -613,7 +883,7 @@ unsafe fn merge_runs<T: Ord>(base: *mut T, tmp: *mut T, lo: usize, mid: usize, h
         std::ptr::copy_nonoverlapping(base.add(j), tmp.add(k), hi - j);
         k += hi - j;
     }
-    std::ptr::copy_nonoverlapping(tmp, base.add(lo), k);
+    std::ptr::copy_nonoverlapping(tmp.add(lo), base.add(lo), k - lo);
 }
 
 #[cfg(test)]
@@ -677,11 +947,10 @@ mod tests {
 
     #[test]
     fn high_thread_count_never_overruns_the_source() {
-        // Regression: with chunk = ceil(n / threads), the number of
-        // non-empty blocks can be below the thread count; a block count
-        // based on threads put trailing blocks past the slice end.
-        // n = 2500 @ 64 threads: chunk = 40, 63 blocks — block 63 would
-        // start at 2520 > 2500.
+        // Regression (static-partition era): trailing blocks computed
+        // from the thread count used to run past the end of the source.
+        // The splitting scheduler partitions `0..n` by construction, but
+        // keep the boundary case covered.
         let pool = ThreadPoolBuilder::new().num_threads(64).build().unwrap();
         pool.install(|| {
             let data: Vec<u32> = (0..2500u32).collect();
@@ -711,5 +980,48 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(join(|| 1 + 1, || "x"), (2, "x"));
+    }
+
+    #[test]
+    fn workers_inherit_pool_thread_count() {
+        // Regression: the per-operation design stored the install
+        // override in a plain thread_local that spawned workers did not
+        // inherit, so nested parallel calls inside a worker closure
+        // reverted to the machine default. Workers now carry their
+        // registry: every leaf must observe the pool's thread count.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0..2 * MIN_PAR_LEN).into_par_iter().map(|_| current_num_threads()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 3), "a worker saw the wrong thread count");
+    }
+
+    #[test]
+    fn nested_parallel_ops_stay_in_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total: u64 = pool.install(|| {
+            (0..4 * MIN_PAR_LEN as u64)
+                .into_par_iter()
+                .map(|_| {
+                    // Nested op from (usually) a worker thread; must see
+                    // 2 threads and produce the exact sum.
+                    assert_eq!(current_num_threads(), 2);
+                    1u64
+                })
+                .sum()
+        });
+        assert_eq!(total, 4 * MIN_PAR_LEN as u64);
+    }
+
+    #[test]
+    fn steal_and_split_counters_advance() {
+        let before = stats::snapshot();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let sum: u64 = (0..100_000u64).into_par_iter().map(|x| x % 7).sum();
+            assert_eq!(sum, (0..100_000u64).map(|x| x % 7).sum());
+        });
+        let after = stats::snapshot();
+        assert!(after.splits > before.splits, "large jobs must split");
     }
 }

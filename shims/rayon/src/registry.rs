@@ -1,0 +1,359 @@
+//! The persistent work-stealing runtime behind the shim's public API.
+//!
+//! A [`Registry`] owns a set of worker threads, one Chase–Lev deque per
+//! worker, and a global injector queue. Parallel operations submit
+//! *tasks* — erased `(job pointer, runner fn, index range)` triples —
+//! and workers execute them, splitting large ranges in half as they go
+//! so idle workers always find something to steal. There is one lazily
+//! created global registry (sized by `RAYON_NUM_THREADS` /
+//! `available_parallelism`), plus one registry per [`crate::ThreadPool`].
+//!
+//! Scheduling protocol:
+//! * Block jobs enter as a single task covering the whole index range.
+//!   Whoever executes a task first peels halves off onto its own deque
+//!   until the remaining piece is at or below the job's grain, then runs
+//!   it. Untouched halves are exactly what thieves steal — on a balanced
+//!   workload the owner pops them back itself (cheap LIFO `take`), on a
+//!   skewed one they migrate to idle workers, which re-split them
+//!   locally. This is the lazy binary splitting that makes power-law
+//!   frontiers load-balance instead of serializing on one thread.
+//! * `join` pushes its second closure as a stealable task and runs the
+//!   first inline; see [`crate::join`].
+//! * Idle workers search own deque → injector → other deques, then
+//!   park on a generation-stamped condvar. Producers bump the
+//!   generation only when a sleeper is registered (Dekker-style
+//!   store/load fencing keeps the handshake missed-wakeup-free).
+//!
+//! The [`steal_count`]/[`split_count`] counters feed
+//! `kcore_parallel::pool::scheduler_stats`.
+
+use crate::deque::Deque;
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Process-wide count of successful steals (tasks taken from another
+/// worker's deque).
+static STEALS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of task splits (a range task halved to publish
+/// stealable work).
+static SPLITS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the scheduler's global counters.
+pub fn steal_count() -> u64 {
+    STEALS.load(Ordering::Relaxed)
+}
+
+/// See [`steal_count`].
+pub fn split_count() -> u64 {
+    SPLITS.load(Ordering::Relaxed)
+}
+
+/// A unit of schedulable work: an erased job pointer plus the index
+/// range to run. `grain == 0` marks an unsplittable task (a `join`
+/// closure); block tasks carry the job's grain so any holder — owner or
+/// thief — can keep splitting.
+#[derive(Clone, Copy)]
+pub(crate) struct Task {
+    pub(crate) job: *const (),
+    pub(crate) runner: unsafe fn(*const (), usize, usize),
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) grain: usize,
+}
+
+// SAFETY: a Task is only constructed from jobs whose closures are
+// `Sync` (block jobs) or `Send` (join jobs), and the submitting thread
+// blocks until every task of the job has finished executing, so the
+// erased pointer never dangles while reachable from a queue.
+unsafe impl Send for Task {}
+
+/// One-shot completion flag with blocking wait.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self { done: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.lock.lock().expect("latch lock poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling thread until [`Latch::set`].
+    pub(crate) fn wait(&self) {
+        let mut guard = self.lock.lock().expect("latch lock poisoned");
+        while !self.done.load(Ordering::Acquire) {
+            guard = self.cv.wait(guard).expect("latch lock poisoned");
+        }
+    }
+}
+
+/// Sleep/wake state shared by a registry's workers.
+struct Sleep {
+    /// Wakeup generation; bumped under the lock whenever new work may
+    /// concern a sleeper.
+    generation: Mutex<u64>,
+    cv: Condvar,
+    /// Number of workers at or past the sleep handshake.
+    sleepers: AtomicUsize,
+}
+
+pub(crate) struct RegistryShared {
+    threads: usize,
+    deques: Vec<Deque>,
+    injected: Mutex<VecDeque<Task>>,
+    /// Fast-path emptiness check for the injector (len of `injected`).
+    injected_len: AtomicUsize,
+    sleep: Sleep,
+    shutdown: AtomicBool,
+}
+
+impl RegistryShared {
+    /// Worker-thread count this registry was built for; doubles as the
+    /// parallelism degree of jobs submitted to it.
+    pub(crate) fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Publishes `task` on worker `index`'s own deque and wakes any
+    /// sleepers. Must be called from that worker's thread. Fails when
+    /// the deque is full.
+    pub(crate) fn push_local(&self, index: usize, task: Task) -> Result<(), Task> {
+        self.deques[index].push(task)?;
+        self.signal_stealable();
+        Ok(())
+    }
+
+    /// Pops the newest task from worker `index`'s own deque. Must be
+    /// called from that worker's thread.
+    pub(crate) fn take_local(&self, index: usize) -> Option<Task> {
+        self.deques[index].take()
+    }
+
+    fn pop_injected(&self) -> Option<Task> {
+        if self.injected_len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut q = self.injected.lock().expect("injector poisoned");
+        let task = q.pop_front();
+        self.injected_len.store(q.len(), Ordering::Relaxed);
+        task
+    }
+
+    /// Queues a task from outside any worker and wakes the pool.
+    pub(crate) fn inject(&self, task: Task) {
+        {
+            let mut q = self.injected.lock().expect("injector poisoned");
+            q.push_back(task);
+            self.injected_len.store(q.len(), Ordering::Relaxed);
+        }
+        // Unconditional wake: injection is once-per-operation, not hot.
+        let mut generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+        *generation = generation.wrapping_add(1);
+        self.sleep.cv.notify_all();
+    }
+
+    /// Wakes sleepers after work was made stealable (split-push). The
+    /// SeqCst fence pairs with the one in the worker's sleep handshake:
+    /// either the producer sees the registered sleeper, or the sleeper's
+    /// post-registration recheck sees the pushed task.
+    pub(crate) fn signal_stealable(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleep.sleepers.load(Ordering::Relaxed) > 0 {
+            let mut generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+            *generation = generation.wrapping_add(1);
+            // One new task, one woken thief: waking the whole pool for
+            // every split just burns context switches (notably on
+            // single-core machines, where a woken thief preempts the
+            // worker producing the work).
+            self.sleep.cv.notify_one();
+        }
+    }
+
+    /// Steals from any worker of this registry. Used by threads that are
+    /// not members (nested waits routed across pools) and by members
+    /// after their own deque and the injector come up empty.
+    fn steal_any(&self, start: usize) -> Option<Task> {
+        let n = self.deques.len();
+        for off in 0..n {
+            if let Some(task) = self.deques[(start + off) % n].steal() {
+                STEALS.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: its registry and index.
+    static WORKER: std::cell::RefCell<Option<(Arc<RegistryShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The registry the current thread belongs to, if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(Arc<RegistryShared>, usize)> {
+    WORKER.with(|w| w.borrow().clone())
+}
+
+/// Splits `task` down to its grain, publishing the upper halves on the
+/// deque `deques[index]` (which must be owned by the calling thread),
+/// then runs the remaining piece.
+pub(crate) fn execute(shared: &RegistryShared, index: usize, mut task: Task) {
+    if task.grain > 0 {
+        while task.hi - task.lo > task.grain {
+            let mid = task.lo + (task.hi - task.lo) / 2;
+            let upper = Task { lo: mid, ..task };
+            match shared.deques[index].push(upper) {
+                Ok(()) => {
+                    SPLITS.fetch_add(1, Ordering::Relaxed);
+                    task.hi = mid;
+                    shared.signal_stealable();
+                }
+                // Deque full (pathological nesting): run oversized.
+                Err(_) => break,
+            }
+        }
+    }
+    unsafe { (task.runner)(task.job, task.lo, task.hi) };
+}
+
+/// Worker-side task search: own deque (LIFO), then the injector, then
+/// steals from siblings.
+pub(crate) fn find_task(shared: &RegistryShared, index: usize) -> Option<Task> {
+    if let Some(task) = shared.deques[index].take() {
+        return Some(task);
+    }
+    if let Some(task) = shared.pop_injected() {
+        return Some(task);
+    }
+    shared.steal_any(index + 1)
+}
+
+/// Runs tasks until `done` reports true. Must be called on the worker
+/// thread owning `deques[index]`; used by nested waits so a blocked
+/// worker keeps the pool productive instead of deadlocking it.
+pub(crate) fn work_until(shared: &RegistryShared, index: usize, done: impl Fn() -> bool) {
+    while !done() {
+        match find_task(shared, index) {
+            Some(task) => execute(shared, index, task),
+            // Remaining tasks are in flight on other workers; let them
+            // run (they may be timesharing this core).
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+fn worker_main(shared: Arc<RegistryShared>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((shared.clone(), index)));
+    loop {
+        if let Some(task) = find_task(&shared, index) {
+            execute(&shared, index, task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Sleep handshake. Register, fence, recheck, then wait for a
+        // generation bump. See `signal_stealable` for the pairing.
+        shared.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if let Some(task) = find_task(&shared, index) {
+            shared.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+            execute(&shared, index, task);
+            continue;
+        }
+        let generation = *shared.sleep.generation.lock().expect("sleep lock poisoned");
+        // A producer may have bumped the generation between the recheck
+        // above and the read; its task is visible now (release/acquire
+        // via the lock), so check one more time before committing.
+        if let Some(task) = find_task(&shared, index) {
+            shared.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+            execute(&shared, index, task);
+            continue;
+        }
+        let mut guard = shared.sleep.generation.lock().expect("sleep lock poisoned");
+        while *guard == generation && !shared.shutdown.load(Ordering::Acquire) {
+            guard = shared.sleep.cv.wait(guard).expect("sleep lock poisoned");
+        }
+        drop(guard);
+        shared.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// A worker pool: shared scheduling state plus owned join handles.
+pub(crate) struct Registry {
+    pub(crate) shared: Arc<RegistryShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Registry {
+    /// Spawns `threads` workers.
+    pub(crate) fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(RegistryShared {
+            threads,
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            injected_len: AtomicUsize::new(0),
+            sleep: Sleep {
+                generation: Mutex::new(0),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|index| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(shared, index))
+                    .expect("rayon-shim: failed to spawn worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut generation = self.shared.sleep.generation.lock().expect("sleep lock poisoned");
+            *generation = generation.wrapping_add(1);
+            self.shared.sleep.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-global registry, created on first use and never torn
+/// down. Sized by `RAYON_NUM_THREADS` / `available_parallelism` (via
+/// [`crate::default_threads`]).
+pub(crate) fn global_registry() -> Arc<RegistryShared> {
+    static GLOBAL: OnceLock<Arc<RegistryShared>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let registry = Registry::new(crate::default_threads());
+            let shared = registry.shared.clone();
+            // Leak the handles: global workers live for the process.
+            std::mem::forget(registry);
+            shared
+        })
+        .clone()
+}

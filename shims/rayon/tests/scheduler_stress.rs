@@ -1,0 +1,189 @@
+//! Deterministic stress tests for the work-stealing scheduler: nested
+//! `install`, `join` under recursion depth, and steal-heavy skewed
+//! workloads driven by a seeded power-law cost model. Everything here
+//! asserts exact results — the scheduler may order execution however it
+//! likes, but the answers must be oracle-identical run after run.
+
+use rayon::prelude::*;
+use rayon::{current_num_threads, join, stats, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// xorshift64* — a tiny seeded generator so the skew pattern is
+/// reproducible across runs and platforms.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Per-item cost following a discrete power law: most items are cheap,
+/// a seeded few are orders of magnitude heavier — the shape of a peel
+/// frontier on a power-law graph, where one contiguous block holds the
+/// hubs. Contiguous-block schedules serialize on the heavy block; the
+/// splitting scheduler must still produce exact results.
+fn power_law_cost(i: usize, seed: u64) -> u64 {
+    let mut state = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let r = xorshift64(&mut state);
+    // Zipf-ish: cost 2^k with probability ~2^-k, capped.
+    let k = (r.trailing_ones()).min(10);
+    1u64 << k
+}
+
+/// Burns `cost` units of deterministic arithmetic and returns a value
+/// derived from them (so the work cannot be optimized away).
+fn spin_work(i: usize, cost: u64) -> u64 {
+    let mut acc = i as u64;
+    for step in 0..cost {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(step);
+    }
+    acc
+}
+
+#[test]
+fn skewed_power_law_workload_is_exact() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let n = 50_000usize;
+    let seed = 0xC0FF_EE11;
+    let expected: u64 =
+        (0..n).map(|i| spin_work(i, power_law_cost(i, seed))).fold(0, u64::wrapping_add);
+    for round in 0..4 {
+        let got: u64 = pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|i| spin_work(i, power_law_cost(i, seed)))
+                .collect::<Vec<u64>>()
+                .into_iter()
+                .fold(0, u64::wrapping_add)
+        });
+        assert_eq!(got, expected, "round {round} diverged on the skewed workload");
+    }
+}
+
+#[test]
+fn hub_block_workload_splits_for_thieves() {
+    // All the weight in the first 1% of the index space: a static
+    // contiguous partition would serialize this on worker 0. Assert
+    // exactness and that the scheduler actually published splits.
+    let before = stats::snapshot();
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let n = 40_000usize;
+    let expected: u64 = (0..n)
+        .map(|i| if i < n / 100 { spin_work(i, 2_000) } else { spin_work(i, 1) })
+        .fold(0, u64::wrapping_add);
+    let got: u64 = pool.install(|| {
+        (0..n)
+            .into_par_iter()
+            .map(|i| if i < n / 100 { spin_work(i, 2_000) } else { spin_work(i, 1) })
+            .collect::<Vec<u64>>()
+            .into_iter()
+            .fold(0, u64::wrapping_add)
+    });
+    assert_eq!(got, expected);
+    let after = stats::snapshot();
+    assert!(after.splits > before.splits, "hub-heavy job must split into stealable pieces");
+}
+
+#[test]
+fn nested_install_uses_innermost_pool() {
+    let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    outer.install(|| {
+        assert_eq!(current_num_threads(), 4);
+        inner.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let sum: u64 = (0..10_000u64).into_par_iter().sum();
+            assert_eq!(sum, 10_000 * 9_999 / 2);
+        });
+        // Restored after the inner scope, even from inside a closure.
+        assert_eq!(current_num_threads(), 4);
+        let count = (0..30_000usize).into_par_iter().filter(|&i| i % 3 == 0).count();
+        assert_eq!(count, 10_000);
+    });
+}
+
+#[test]
+fn install_restores_on_panic() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let baseline = current_num_threads();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.install(|| panic!("boom"))));
+    assert!(result.is_err());
+    assert_eq!(current_num_threads(), baseline, "install override leaked past a panic");
+}
+
+/// Binary fork–join recursion: sums `lo..hi` purely through nested
+/// `join` calls, exercising deque push/pop/steal under depth.
+fn join_sum(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 64 {
+        return (lo..hi).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = join(|| join_sum(lo, mid), || join_sum(mid, hi));
+    a + b
+}
+
+#[test]
+fn join_under_depth_is_exact() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    // Depth ~14 of nested joins, thousands of tasks.
+    let n = 1u64 << 20;
+    let got = pool.install(|| join_sum(0, n));
+    assert_eq!(got, n * (n - 1) / 2);
+}
+
+#[test]
+fn join_mixed_with_parallel_iterators() {
+    let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    let (left, right) = pool.install(|| {
+        join(
+            || (0..20_000u64).into_par_iter().map(|x| x * 2).sum::<u64>(),
+            || (0..20_000usize).into_par_iter().filter(|&x| x % 2 == 0).count(),
+        )
+    });
+    assert_eq!(left, (0..20_000u64).map(|x| x * 2).sum::<u64>());
+    assert_eq!(right, 10_000);
+}
+
+#[test]
+fn join_propagates_branch_panics() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let touched = AtomicU64::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            join(
+                || touched.fetch_add(1, Ordering::Relaxed),
+                || -> u64 { panic!("second branch fails") },
+            )
+        })
+    }));
+    assert!(result.is_err(), "panic in the stolen branch must reach the caller");
+    assert_eq!(touched.load(Ordering::Relaxed), 1, "first branch still ran");
+}
+
+#[test]
+fn concurrent_pools_do_not_interfere() {
+    // Two pools driven from two OS threads at once: jobs must stay in
+    // their own registries and both must produce exact results.
+    std::thread::scope(|s| {
+        for seed in [1u64, 2] {
+            s.spawn(move || {
+                let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+                let expected: u64 = (0..30_000)
+                    .map(|i| spin_work(i, power_law_cost(i, seed)))
+                    .fold(0, u64::wrapping_add);
+                let got: u64 = pool.install(|| {
+                    (0..30_000usize)
+                        .into_par_iter()
+                        .map(|i| spin_work(i, power_law_cost(i, seed)))
+                        .collect::<Vec<u64>>()
+                        .into_iter()
+                        .fold(0, u64::wrapping_add)
+                });
+                assert_eq!(got, expected, "pool with seed {seed} diverged");
+            });
+        }
+    });
+}
