@@ -38,6 +38,32 @@ pub mod queue {
     use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
     use std::sync::OnceLock;
 
+    /// Bounded spin-then-yield backoff (crossbeam's `Backoff` pattern)
+    /// for the two reserve-to-publish windows below. A pure `spin_loop`
+    /// wait burns the whole timeslice if the thread holding the window
+    /// open was preempted — the common case on single-core boxes —
+    /// whereas yielding hands the core back to that thread.
+    struct Backoff {
+        spins: u32,
+    }
+
+    impl Backoff {
+        const SPIN_LIMIT: u32 = 64;
+
+        fn new() -> Self {
+            Self { spins: 0 }
+        }
+
+        fn snooze(&mut self) {
+            if self.spins < Self::SPIN_LIMIT {
+                self.spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Slots per segment: scaled by the machine's parallelism so more
     /// concurrent pushers amortize more pushes per segment installation.
     fn seg_capacity() -> usize {
@@ -154,13 +180,14 @@ pub mod queue {
                 } else {
                     // Another pusher is installing; wait for the link,
                     // help advance the tail, and retry there.
+                    let mut backoff = Backoff::new();
                     let mut next;
                     loop {
                         next = tail.next.load(Ordering::Acquire);
                         if !next.is_null() {
                             break;
                         }
-                        std::hint::spin_loop();
+                        backoff.snooze();
                     }
                     let _ = self.tail.compare_exchange(
                         tail_ptr,
@@ -193,10 +220,12 @@ pub mod queue {
                     {
                         // Claimed slot `low` exclusively; wait out the
                         // pusher's reserve→write window if it is still
-                        // open (bounded: the pusher is between two
-                        // instructions).
+                        // open (usually two instructions wide, but the
+                        // pusher may be preempted mid-window — hence the
+                        // yielding backoff).
+                        let mut backoff = Backoff::new();
                         while !head.slots[low].ready.load(Ordering::Acquire) {
-                            std::hint::spin_loop();
+                            backoff.snooze();
                         }
                         return Some(unsafe { (*head.slots[low].value.get()).assume_init_read() });
                     }

@@ -126,7 +126,10 @@ fn effective_registry() -> Arc<RegistryShared> {
 /// Shared state of one `run_blocks` invocation, referenced (type-erased)
 /// by every task of the job. The submitting thread keeps it alive on its
 /// stack until the latch fires, which happens only after every index has
-/// been executed — so the erased references never dangle.
+/// been executed — so the erased references never dangle. The latch
+/// itself is `Arc`-owned: the finishing executor holds its own clone
+/// across [`Latch::set`], which outlives the job's stack frame (see the
+/// latch's lifetime protocol).
 struct BlockJob<'f, R> {
     f: &'f (dyn Fn(Range<usize>) -> R + Sync),
     /// `(range start, result)` per executed leaf; sorted on completion.
@@ -134,7 +137,7 @@ struct BlockJob<'f, R> {
     /// Indices not yet executed; the job is done at zero.
     remaining: AtomicUsize,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
-    latch: Latch,
+    latch: Arc<Latch>,
 }
 
 unsafe fn run_block<R: Send>(job: *const (), lo: usize, hi: usize) {
@@ -150,8 +153,13 @@ unsafe fn run_block<R: Send>(job: *const (), lo: usize, hi: usize) {
             }
         }
     }
+    // Clone BEFORE the decrement: once `remaining` hits zero and `set`
+    // stores `done`, the submitting thread may free `job` at any moment.
+    // The owned clone keeps the latch alive through `set`'s notify; `job`
+    // itself must not be touched past the final decrement.
+    let latch = job.latch.clone();
     if job.remaining.fetch_sub(hi - lo, Ordering::AcqRel) == hi - lo {
-        job.latch.set();
+        latch.set();
     }
 }
 
@@ -173,7 +181,7 @@ fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<
         results: Mutex::new(Vec::new()),
         remaining: AtomicUsize::new(n),
         panic: Mutex::new(None),
-        latch: Latch::new(),
+        latch: Arc::new(Latch::new()),
     };
     let task = Task {
         job: &job as *const BlockJob<'_, R> as *const (),
@@ -209,12 +217,14 @@ fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<
 // ---- join ------------------------------------------------------------
 
 /// Shared state of one `join` call's second closure, referenced
-/// (type-erased) by the task handed to the pool.
+/// (type-erased) by the task handed to the pool. The latch is
+/// `Arc`-owned so the executor can outlive the caller's stack frame
+/// while notifying (see the latch's lifetime protocol).
 struct JoinJob<B, RB> {
     closure: std::cell::UnsafeCell<Option<B>>,
     result: std::cell::UnsafeCell<Option<RB>>,
     panic: std::cell::UnsafeCell<Option<Box<dyn Any + Send>>>,
-    latch: Latch,
+    latch: Arc<Latch>,
 }
 
 // SAFETY: the cells are touched by exactly one executor (whoever runs
@@ -233,7 +243,10 @@ where
         Ok(result) => unsafe { *job.result.get() = Some(result) },
         Err(payload) => unsafe { *job.panic.get() = Some(payload) },
     }
-    job.latch.set();
+    // Owned clone across `set`: the caller may free `job` the instant
+    // `done` becomes visible, while `set` is still notifying.
+    let latch = job.latch.clone();
+    latch.set();
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
@@ -258,7 +271,7 @@ where
         closure: std::cell::UnsafeCell::new(Some(b)),
         result: std::cell::UnsafeCell::new(None),
         panic: std::cell::UnsafeCell::new(None),
-        latch: Latch::new(),
+        latch: Arc::new(Latch::new()),
     };
     let job_ptr = &job as *const JoinJob<B, RB> as *const ();
     let task = Task { job: job_ptr, runner: run_join::<B, RB>, lo: 0, hi: 0, grain: 0 };
@@ -385,7 +398,7 @@ impl ThreadPool {
             closure: std::cell::UnsafeCell::new(Some(op)),
             result: std::cell::UnsafeCell::new(None),
             panic: std::cell::UnsafeCell::new(None),
-            latch: Latch::new(),
+            latch: Arc::new(Latch::new()),
         };
         let task = Task {
             job: &job as *const JoinJob<OP, R> as *const (),

@@ -69,6 +69,14 @@ pub(crate) struct Task {
 unsafe impl Send for Task {}
 
 /// One-shot completion flag with blocking wait.
+///
+/// Lifetime protocol: jobs hold the latch in an `Arc`, and the thread
+/// that completes a job must clone that `Arc` *before* the step that can
+/// make [`Latch::probe`]/[`Latch::wait`] return (the final `remaining`
+/// decrement, or `set` itself). The waiter frees the job — typically a
+/// stack frame — as soon as `done` reads true, which races the tail of
+/// `set` (condvar lock + notify); the completer's own clone keeps the
+/// latch alive through that window, so `set` never touches freed memory.
 pub(crate) struct Latch {
     done: AtomicBool,
     lock: Mutex<()>,
@@ -84,9 +92,15 @@ impl Latch {
         self.done.load(Ordering::Acquire)
     }
 
+    /// Marks the latch done and wakes blocked waiters. Callers must own
+    /// an `Arc` keeping `self` alive (see the type docs): waiters may
+    /// free the enclosing job the instant the store becomes visible.
     pub(crate) fn set(&self) {
-        self.done.store(true, Ordering::Release);
+        // Store inside the critical section: a `wait`er that read
+        // done=false under the lock is guaranteed to be parked on the
+        // condvar before the store+notify happen, so no wakeup is lost.
         let _guard = self.lock.lock().expect("latch lock poisoned");
+        self.done.store(true, Ordering::Release);
         self.cv.notify_all();
     }
 
@@ -181,9 +195,13 @@ impl RegistryShared {
         }
     }
 
-    /// Steals from any worker of this registry. Used by threads that are
-    /// not members (nested waits routed across pools) and by members
-    /// after their own deque and the injector come up empty.
+    /// Steals from any worker of this registry. Used by members after
+    /// their own deque and the injector come up empty. There is no
+    /// cross-pool stealing: a worker of pool A blocked in pool B's
+    /// `install` waits on the latch without helping B, so mutually
+    /// recursive `install` between two pools can deadlock if every
+    /// worker of each pool blocks on the other (no workspace call site
+    /// nests pools this way).
     fn steal_any(&self, start: usize) -> Option<Task> {
         let n = self.deques.len();
         for off in 0..n {
