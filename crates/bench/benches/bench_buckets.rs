@@ -3,7 +3,7 @@
 //! that stress them — HCNS for bucket depth, a dense planted core for
 //! high `k_max`, and a grid for the sparse regime.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore::{BucketStrategy, Config, KCore};
 use kcore_graph::gen;
 
@@ -30,4 +30,4 @@ fn bench_strategies(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_strategies);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

@@ -2,7 +2,7 @@
 //! the standard suite — the grid the Tab. 3 "combination" rows come
 //! from once sampling and VGC land.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore::{BucketStrategy, Config, KCore};
 use kcore_bench::standard_suite;
 
@@ -22,4 +22,4 @@ fn bench_combos(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_combos);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

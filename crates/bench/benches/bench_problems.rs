@@ -1,0 +1,54 @@
+//! Cross-problem sweep: the same graphs through every peeling problem
+//! the engine ships — k-core (vertex peeling), k-truss (edge peeling,
+//! two-phase snapshot rule), and greedy densest subgraph (min-degree
+//! peeling + density curve) — under the default adaptive strategy and,
+//! for the cheapest graph, the offline driver.
+//!
+//! This is the engine-generality benchmark: one loop, three element
+//! universes. k-truss additionally charges its setup (edge index +
+//! triangle supports), reported separately so the peel itself stays
+//! comparable.
+
+use criterion::{black_box, criterion_group, Criterion};
+use kcore::{Config, DensestSubgraph, KCore, KTruss, Techniques};
+use kcore_graph::triangles::edge_supports;
+use kcore_graph::{gen, EdgeIndex};
+
+fn bench_problems(c: &mut Criterion) {
+    let graphs = [
+        ("ba-3000", gen::barabasi_albert(3000, 4, 42)),
+        ("planted-core-1500", gen::planted_core(1500, 3, 70, 42)),
+        ("grid2d-60x60", gen::grid2d(60, 60)),
+    ];
+    let config = Config { collect_stats: false, ..Config::default() };
+    for (name, g) in &graphs {
+        c.bench_function(&format!("problems/{name}/kcore"), |b| {
+            b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+        });
+        c.bench_function(&format!("problems/{name}/densest"), |b| {
+            b.iter(|| black_box(DensestSubgraph::with_exact_config(config).run(g)))
+        });
+        c.bench_function(&format!("problems/{name}/ktruss"), |b| {
+            b.iter(|| black_box(KTruss::with_exact_config(config).run(g)))
+        });
+        c.bench_function(&format!("problems/{name}/ktruss-setup"), |b| {
+            b.iter(|| {
+                let idx = EdgeIndex::build(g);
+                black_box(edge_supports(g, &idx))
+            })
+        });
+    }
+    // Offline driver comparison on one representative.
+    let (name, g) = &graphs[1];
+    let offline =
+        Config { collect_stats: false, techniques: Techniques::offline(), ..Config::default() };
+    c.bench_function(&format!("problems/{name}/kcore-offline"), |b| {
+        b.iter(|| black_box(KCore::with_exact_config(offline).run(g)))
+    });
+    c.bench_function(&format!("problems/{name}/ktruss-offline"), |b| {
+        b.iter(|| black_box(KTruss::with_exact_config(offline).run(g)))
+    });
+}
+
+criterion_group!(benches, bench_problems);
+kcore_bench::bench_main!(benches);

@@ -27,7 +27,7 @@
 //! well. Steal/split deltas come from
 //! `kcore_parallel::pool::scheduler_delta`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore::{Config, KCore, Techniques};
 use kcore_graph::{gen, CsrGraph};
 use kcore_parallel::pool::{scheduler_delta, with_threads};
@@ -163,4 +163,4 @@ fn bench_skewed_frontier(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_scalability, bench_skewed_frontier);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

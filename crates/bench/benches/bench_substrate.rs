@@ -1,7 +1,7 @@
 //! Substrate microbenchmarks: pack, scan, histogram, and the parallel
 //! hash bag — the primitives whose constants dominate the peeling loop.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore_parallel::histogram::{histogram_atomic, histogram_sort};
 use kcore_parallel::primitives::{exclusive_scan, pack, pack_index};
 use kcore_parallel::HashBag;
@@ -48,4 +48,4 @@ fn bench_hashbag(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pack, bench_scan, bench_histogram, bench_hashbag);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

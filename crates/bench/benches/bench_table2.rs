@@ -1,7 +1,7 @@
 //! Tab. 2 analog: decomposition time and structure (k_max, peeling
 //! complexity rho) across every graph family, default configuration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore::{Config, KCore};
 use kcore_bench::standard_suite;
 
@@ -26,4 +26,4 @@ fn bench_families(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_families);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

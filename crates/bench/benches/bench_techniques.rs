@@ -3,7 +3,7 @@
 //! the offline histogram driver — plus the sequential BZ baseline that
 //! every speedup is judged by.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use kcore::bz::bz_coreness;
 use kcore::{Config, KCore, Sampling, Techniques, Vgc};
 use kcore_graph::gen;
@@ -42,4 +42,4 @@ fn bench_technique_ablation(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_technique_ablation);
-criterion_main!(benches);
+kcore_bench::bench_main!(benches);

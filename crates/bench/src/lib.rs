@@ -2,7 +2,14 @@
 //!
 //! The paper benchmarks laptop-scale analogs of its graph families
 //! (see `kcore_graph::gen`); this crate centralizes the instances every
-//! bench file uses so Tab. 2 / Tab. 3 style sweeps stay consistent.
+//! bench file uses so Tab. 2 / Tab. 3 style sweeps stay consistent,
+//! and provides [`summary`] — the machine-readable results emitter that
+//! turns every `cargo bench` run into a `BENCH_results.json` entry so
+//! the perf trajectory is tracked across PRs.
+//!
+//! Bench binaries end with [`bench_main!`] instead of
+//! `criterion_main!`; it runs the groups and then flushes the shim's
+//! collected measurements through [`summary::emit`].
 
 use kcore_graph::CsrGraph;
 
@@ -27,6 +34,253 @@ pub fn standard_suite() -> Vec<BenchGraph> {
         BenchGraph { name: "planted-core-2000", graph: gen::planted_core(2000, 3, 80, 42) },
         BenchGraph { name: "hcns-150", graph: gen::hcns(150) },
     ]
+}
+
+/// Runs the given criterion groups, then emits the collected
+/// measurements as JSON ([`summary::emit`]). Drop-in replacement for
+/// `criterion_main!` in this workspace's bench binaries.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::summary::emit();
+        }
+    };
+}
+
+pub mod summary {
+    //! Machine-readable benchmark summaries.
+    //!
+    //! Every bench binary (via [`crate::bench_main!`]) drains the
+    //! criterion shim's measurement log and merges it into a single
+    //! `BENCH_results.json` at the workspace root (override the path
+    //! with `KCORE_BENCH_JSON`). Entries are keyed by bench binary:
+    //! re-running a binary replaces its own entries and leaves the
+    //! others, so one `cargo bench` sweep — or several partial ones —
+    //! converges to a complete snapshot. CI uploads the file as an
+    //! artifact per run, giving the perf trajectory over time.
+    //!
+    //! The file is a single JSON object with one entry line per
+    //! measurement (see [`Entry`]); the merge parser only accepts files
+    //! this module wrote (anything else is overwritten wholesale).
+
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const SCHEMA: &str = "kcore-bench-summary/v1";
+
+    /// One benchmark measurement, as serialized into the results file.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Entry {
+        /// Bench binary stem (e.g. `bench_buckets`).
+        pub bin: String,
+        /// Benchmark id as printed by the harness.
+        pub bench: String,
+        /// Mean nanoseconds per iteration.
+        pub ns_per_iter: u64,
+        /// Iterations measured.
+        pub iters: u64,
+        /// `RAYON_NUM_THREADS` at measurement time (empty = default).
+        pub rayon_threads: String,
+        /// `KCORE_TECHNIQUES` at measurement time (empty = default).
+        pub techniques: String,
+    }
+
+    impl Entry {
+        fn to_json_line(&self) -> String {
+            format!(
+                "    {{\"bin\":{},\"bench\":{},\"ns_per_iter\":{},\"iters\":{},\
+                 \"rayon_threads\":{},\"techniques\":{}}}",
+                json_str(&self.bin),
+                json_str(&self.bench),
+                self.ns_per_iter,
+                self.iters,
+                json_str(&self.rayon_threads),
+                json_str(&self.techniques),
+            )
+        }
+    }
+
+    /// Drains the criterion shim's reports and merges them into the
+    /// results file. Never panics: benchmarks should not fail because
+    /// the summary could not be written (a warning goes to stderr).
+    pub fn emit() {
+        let reports = criterion::take_reports();
+        if reports.is_empty() {
+            return;
+        }
+        let bin = current_bin_stem();
+        let env = |k: &str| std::env::var(k).unwrap_or_default();
+        let entries: Vec<Entry> = reports
+            .into_iter()
+            .map(|r| Entry {
+                bin: bin.clone(),
+                bench: r.id,
+                ns_per_iter: r.ns_per_iter,
+                iters: r.iters,
+                rayon_threads: env("RAYON_NUM_THREADS"),
+                techniques: env("KCORE_TECHNIQUES"),
+            })
+            .collect();
+        let path = output_path();
+        match merge_into(&path, &bin, entries) {
+            Ok(total) => eprintln!("bench summary: {total} entries in {}", path.display()),
+            Err(e) => eprintln!("bench summary: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// Merges `entries` (all belonging to bench binary `bin`) into the
+    /// results file at `path`: an existing entry is replaced only when
+    /// this run re-measured the same `(bin, bench)` pair, so a
+    /// *filtered* run (`cargo bench --bench b some-substring`) updates
+    /// just the benches it executed and the rest of the snapshot
+    /// survives. Returns the total entry count written.
+    pub fn merge_into(path: &Path, bin: &str, entries: Vec<Entry>) -> std::io::Result<usize> {
+        let bin_marker = format!("\"bin\":{}", json_str(bin));
+        let fresh: Vec<String> =
+            entries.iter().map(|e| format!("\"bench\":{}", json_str(&e.bench))).collect();
+        let mut kept: Vec<String> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if existing.contains(SCHEMA) {
+                for line in existing.lines() {
+                    let t = line.trim();
+                    let replaced =
+                        t.contains(&bin_marker) && fresh.iter().any(|m| t.contains(m.as_str()));
+                    if t.starts_with('{') && t.contains("\"bench\":") && !replaced {
+                        kept.push(format!("    {}", t.trim_end_matches(',')));
+                    }
+                }
+            }
+        }
+        kept.extend(entries.iter().map(Entry::to_json_line));
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"schema\": \"{SCHEMA}\",")?;
+        writeln!(f, "  \"results\": [")?;
+        writeln!(f, "{}", kept.join(",\n"))?;
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        Ok(kept.len())
+    }
+
+    /// Results path: `KCORE_BENCH_JSON` if set, else
+    /// `BENCH_results.json` at the workspace root (found by walking up
+    /// from the bench crate's manifest to the directory holding
+    /// `Cargo.lock`), else the current directory.
+    fn output_path() -> PathBuf {
+        if let Ok(p) = std::env::var("KCORE_BENCH_JSON") {
+            return PathBuf::from(p);
+        }
+        let start = std::env::var("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .or_else(|_| std::env::current_dir())
+            .unwrap_or_default();
+        let mut dir = start.as_path();
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return dir.join("BENCH_results.json");
+            }
+            match dir.parent() {
+                Some(p) => dir = p,
+                None => return PathBuf::from("BENCH_results.json"),
+            }
+        }
+    }
+
+    /// The running binary's file stem with cargo's trailing `-<hash>`
+    /// stripped (e.g. `bench_buckets-1a2b3c` → `bench_buckets`).
+    fn current_bin_stem() -> String {
+        let exe = std::env::current_exe().unwrap_or_default();
+        let stem = exe.file_stem().and_then(|s| s.to_str()).unwrap_or("bench").to_string();
+        match stem.rsplit_once('-') {
+            Some((name, hash))
+                if !name.is_empty()
+                    && hash.len() == 16
+                    && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                name.to_string()
+            }
+            _ => stem,
+        }
+    }
+
+    /// Minimal JSON string encoder (ids are ASCII; escape the basics).
+    fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn entry(bin: &str, bench: &str, ns: u64) -> Entry {
+            Entry {
+                bin: bin.into(),
+                bench: bench.into(),
+                ns_per_iter: ns,
+                iters: 10,
+                rayon_threads: String::new(),
+                techniques: String::new(),
+            }
+        }
+
+        #[test]
+        fn merge_replaces_remeasured_entries_and_keeps_the_rest() {
+            let dir = std::env::temp_dir().join(format!("kcore-bench-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("merge_test.json");
+            let _ = std::fs::remove_file(&path);
+
+            let n = merge_into(&path, "a", vec![entry("a", "a/one", 1), entry("a", "a/two", 2)])
+                .unwrap();
+            assert_eq!(n, 2);
+            let n = merge_into(&path, "b", vec![entry("b", "b/one", 3)]).unwrap();
+            assert_eq!(n, 3, "b's entry joins a's");
+            // A filtered re-run of `a` measuring only a/one: a/one is
+            // replaced in place, a/two and b/one survive.
+            let n = merge_into(&path, "a", vec![entry("a", "a/one", 9)]).unwrap();
+            assert_eq!(n, 3, "only the re-measured entry is replaced");
+
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains(SCHEMA));
+            assert!(text.contains("a/two") && text.contains("b/one"));
+            assert!(text.contains("\"ns_per_iter\":9"), "a/one must carry the fresh value");
+            assert!(!text.contains("\"ns_per_iter\":1,"), "the stale a/one value must be gone");
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn merge_overwrites_foreign_files() {
+            let dir = std::env::temp_dir().join(format!("kcore-bench-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("foreign_test.json");
+            std::fs::write(&path, "not our format at all").unwrap();
+            let n = merge_into(&path, "a", vec![entry("a", "a/one", 1)]).unwrap();
+            assert_eq!(n, 1);
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains(SCHEMA) && !text.contains("not our format"));
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn json_strings_are_escaped() {
+            assert_eq!(json_str("plain/id-1"), "\"plain/id-1\"");
+            assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! vertex peeled earlier or moved lower — are filtered at extraction by
 //! re-reading the live key.
 
-use crate::{BucketStructure, DegreeView};
+use crate::{BucketStructure, PriorityView};
 use crossbeam::queue::SegQueue;
 use kcore_parallel::primitives::pack;
 
@@ -44,7 +44,7 @@ impl FixedBuckets {
     }
 
     /// Scans overflow and distributes the window `[base, base + b)`.
-    fn rebuild(&mut self, view: &dyn DegreeView) {
+    fn rebuild(&mut self, view: &dyn PriorityView) {
         let base = self.base;
         let b = self.b;
         // Keep only live out-of-window vertices in overflow; in-window
@@ -64,7 +64,7 @@ impl FixedBuckets {
 }
 
 impl BucketStructure for FixedBuckets {
-    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32> {
+    fn next_frontier(&mut self, k: u32, view: &dyn PriorityView) -> Vec<u32> {
         if !self.built || k >= self.base + self.b {
             self.base = k;
             self.rebuild(view);

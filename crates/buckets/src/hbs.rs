@@ -18,7 +18,7 @@
 //! below the current round, so every entry re-files at or after `k` —
 //! the monotone-heap invariant.
 
-use crate::{BucketStructure, DegreeView};
+use crate::{BucketStructure, PriorityView};
 use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -80,7 +80,7 @@ impl HierarchicalBuckets {
     /// Re-anchors the layout at `k`, re-filing every entry by its live
     /// key. Duplicate copies of a vertex (one per historical decrement)
     /// collapse to one; dead entries drop out.
-    fn redistribute(&mut self, k: u32, view: &dyn DegreeView) {
+    fn redistribute(&mut self, k: u32, view: &dyn PriorityView) {
         let mut live: Vec<u32> = Vec::new();
         for bucket in &self.buckets {
             while let Some(v) = bucket.pop() {
@@ -101,7 +101,7 @@ impl HierarchicalBuckets {
 }
 
 impl BucketStructure for HierarchicalBuckets {
-    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32> {
+    fn next_frontier(&mut self, k: u32, view: &dyn PriorityView) -> Vec<u32> {
         let base = self.base.load(Ordering::Relaxed);
         debug_assert!(k >= base, "rounds must be non-decreasing");
         let base = if k - base >= NUM_SINGLE {

@@ -2,9 +2,13 @@
 //!
 //! A bucketing structure manages the *active set* of a peeling algorithm:
 //! at each round `k` it must produce the initial frontier — every active
-//! vertex whose induced degree equals `k` — and absorb concurrent
-//! `DecreaseKey` notifications while a round is being peeled. Three
-//! strategies are implemented behind the [`BucketStructure`] trait:
+//! element whose priority equals `k` — and absorb concurrent
+//! `DecreaseKey` notifications while a round is being peeled. The
+//! elements are opaque `u32` ids and the priority is whatever monotone
+//! key the peeling problem maintains — vertex induced degree for k-core,
+//! edge triangle support for k-truss, and so on; the structures never
+//! interpret either. Three strategies are implemented behind the
+//! [`BucketStructure`] trait:
 //!
 //! * [`SingleBucket`] — the plain framework (Alg. 1): keep the active set
 //!   as a flat array, `pack` the frontier out of it every round. `O(|A|)`
@@ -33,8 +37,12 @@ pub use single::SingleBucket;
 
 /// Read-only view of the live peeling state that bucket structures use
 /// to filter stale entries.
-pub trait DegreeView: Sync {
-    /// Current (stored) induced degree of `v`. For vertices in sample
+///
+/// `v` is an opaque element id — a vertex for k-core peeling, an edge
+/// for k-truss peeling — and `key` is its current priority under the
+/// problem's monotone decrement rule.
+pub trait PriorityView: Sync {
+    /// Current (stored) priority of element `v`. For elements in sample
     /// mode this is the value from the last resample — the bucket
     /// structures only ever see the stored value, which is exactly the
     /// key they were told about through `on_decrease`.
@@ -43,9 +51,15 @@ pub trait DegreeView: Sync {
     fn alive(&self, v: u32) -> bool;
 }
 
+/// Backwards-compatible alias from the era when the only peeling
+/// problem was k-core and the priority was always an induced degree.
+/// Same trait, older name; prefer [`PriorityView`].
+pub use PriorityView as DegreeView;
+
 /// A structure producing per-round initial frontiers for peeling.
 ///
-/// Contract expected by the `kcore` framework:
+/// Contract expected by the `kcore` peel engine (any [`PeelProblem`]
+/// client, not just k-core):
 /// * `next_frontier(k, view)` is called once per round with strictly
 ///   increasing `k`, between peels (exclusive access).
 /// * `on_decrease(v, old_key, new_key, k)` may be called concurrently
@@ -53,14 +67,17 @@ pub trait DegreeView: Sync {
 ///   `k` go directly to the in-round frontier, never through the bucket
 ///   structure) and each `(v, new_key)` pair at most once (decrements
 ///   are atomic, so every observed value is distinct). `old_key` lets a
-///   structure skip updates that do not move the vertex between buckets
-///   — the step that brings HBS down to its `O(log d(v))` per-vertex
+///   structure skip updates that do not move the element between buckets
+///   — the step that brings HBS down to its `O(log d(v))` per-element
 ///   bound.
+///
+/// [`PeelProblem`]: https://docs.rs/kcore — the trait lives in the
+/// `kcore` crate; this crate only sees opaque element ids and keys.
 pub trait BucketStructure: Send + Sync {
-    /// Returns every active vertex with induced degree exactly `k`.
-    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32>;
+    /// Returns every active element with priority exactly `k`.
+    fn next_frontier(&mut self, k: u32, view: &dyn PriorityView) -> Vec<u32>;
 
-    /// Returns every active vertex with induced degree in `[lo, hi)` —
+    /// Returns every active element with priority in `[lo, hi)` —
     /// the bulk form used by offline range peeling (extracting the
     /// sub-`k`-core prefix in one step rather than round by round).
     ///
@@ -69,7 +86,7 @@ pub trait BucketStructure: Send + Sync {
     /// sequence, so a range extraction counts as having advanced the
     /// structure to round `hi - 1`. Scan-based structures override this
     /// with a single pass.
-    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn DegreeView) -> Vec<u32> {
+    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn PriorityView) -> Vec<u32> {
         let mut out = Vec::new();
         for k in lo..hi {
             out.extend(self.next_frontier(k, view));
@@ -77,7 +94,7 @@ pub trait BucketStructure: Send + Sync {
         out
     }
 
-    /// Notifies the structure that `v`'s induced degree dropped from
+    /// Notifies the structure that `v`'s priority dropped from
     /// `old_key` to `new_key` while the algorithm is peeling round `k`.
     fn on_decrease(&self, v: u32, old_key: u32, new_key: u32, k: u32);
 
@@ -132,7 +149,7 @@ impl std::fmt::Display for BucketStrategy {
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use super::DegreeView;
+    use super::PriorityView;
     use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
     /// A mutable degree table for driving bucket structures in tests.
@@ -158,7 +175,7 @@ pub(crate) mod testutil {
         }
     }
 
-    impl DegreeView for TestView {
+    impl PriorityView for TestView {
         fn key(&self, v: u32) -> u32 {
             self.keys[v as usize].load(Ordering::Relaxed)
         }

@@ -6,7 +6,7 @@
 //! but with one full active-set scan per round, which is what HBS
 //! improves on dense graphs.
 
-use crate::{BucketStructure, DegreeView};
+use crate::{BucketStructure, PriorityView};
 use kcore_parallel::primitives::pack;
 
 /// Flat active-array frontier source.
@@ -40,14 +40,14 @@ impl SingleBucket {
 }
 
 impl BucketStructure for SingleBucket {
-    fn next_frontier(&mut self, k: u32, view: &dyn DegreeView) -> Vec<u32> {
+    fn next_frontier(&mut self, k: u32, view: &dyn PriorityView) -> Vec<u32> {
         // Refine A (drop everything peeled in earlier rounds), then pack
         // the frontier. Both are O(|A|), matching Thm. 3.1's assumption.
         self.active = pack(&self.active, |&v| view.alive(v) && view.key(v) >= k);
         pack(&self.active, |&v| view.key(v) == k)
     }
 
-    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn DegreeView) -> Vec<u32> {
+    fn next_frontier_range(&mut self, lo: u32, hi: u32, view: &dyn PriorityView) -> Vec<u32> {
         // One pass instead of the default's (hi - lo) scans: refine the
         // active set, then pack the whole key range out of it.
         self.active = pack(&self.active, |&v| view.alive(v) && view.key(v) >= lo);

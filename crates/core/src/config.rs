@@ -2,11 +2,15 @@
 
 use kcore_buckets::BucketStrategy;
 
-/// Configuration for a [`crate::KCore`] run.
+/// Configuration for a [`crate::PeelEngine`] run — shared by every
+/// problem facade ([`crate::KCore`], [`crate::KTruss`],
+/// [`crate::DensestSubgraph`]).
 ///
 /// The defaults reproduce the paper's final design: the adaptive
 /// bucketing strategy (plain scanning until the θ-core, HBS beyond it)
-/// with statistics collection on and the Sec. 4 techniques off. Enable
+/// with statistics collection on and the Sec. 4 techniques off.
+/// Techniques that do not apply to a problem are ignored (sampling and
+/// VGC assume unit incidences and are skipped for k-truss). Enable
 /// the techniques through [`Config::techniques`]:
 ///
 /// ```
@@ -95,7 +99,10 @@ impl Config {
                     self.techniques.sampling.get_or_insert_with(Sampling::default);
                     self.techniques.vgc.get_or_insert_with(Vgc::default);
                 }
-                other => panic!("KCORE_TECHNIQUES: unknown token {other:?}"),
+                other => panic!(
+                    "KCORE_TECHNIQUES: unknown token {other:?} \
+                     (valid: sampling, vgc, offline, all)"
+                ),
             }
         }
         self

@@ -1,40 +1,51 @@
-//! k-core decomposition algorithms.
+//! Peeling algorithms on the work-efficient parallel engine.
 //!
-//! The **k-core** of a graph is the maximal subgraph in which every
-//! vertex has degree at least `k`; a vertex's **coreness** is the
-//! largest `k` for which it belongs to the k-core. This crate computes
-//! the coreness of every vertex with the paper's work-efficient
-//! (`O(n + m)` expected) parallel peeling framework:
+//! This crate began as a k-core reproduction and now hosts a
+//! **problem-agnostic peeling engine** with k-core as its first client.
+//! The paper's framework (Alg. 1 + the Sec. 4 techniques) peels any
+//! element universe by monotone integer priorities; the engine owns the
+//! loop and the techniques, and problems plug in through a trait:
 //!
-//! * [`KCore`] — the parallel framework (Alg. 1): round `k` repeatedly
-//!   peels the frontier of vertices with induced degree `k`, using
+//! * [`PeelEngine`] / [`PeelProblem`] — the generic core: round `k`
+//!   repeatedly peels the frontier of elements with priority `k`, using
 //!   atomic clamped decrements for `DecreaseKey` and a parallel hash
-//!   bag for intra-round frontier collection. The per-round initial
-//!   frontier comes from a pluggable [`BucketStrategy`] (single bucket,
+//!   bag for intra-round frontier collection. Per-round initial
+//!   frontiers come from a pluggable [`BucketStrategy`] (single bucket,
 //!   Julienne-style fixed window, HBS, or the adaptive hybrid).
-//! * [`bz`] — the sequential Batagelj–Zaveršnik bucket algorithm, the
-//!   `O(n + m)` baseline every parallel variant is tested against.
+//! * [`KCore`] — k-core decomposition (vertices by induced degree),
+//!   bit-compatible with the pre-engine implementation. [`bz`] is the
+//!   sequential Batagelj–Zaveršnik oracle it is tested against.
+//! * [`KTruss`] — k-truss decomposition (edges by triangle support),
+//!   the snapshot-rule client: a dying edge charges the surviving edges
+//!   of its triangles under a consistent settle snapshot.
+//!   [`sequential_trussness`] is its recount oracle.
+//! * [`DensestSubgraph`] — Charikar's greedy densest subgraph as
+//!   min-degree peeling with a per-round density curve; a
+//!   2-approximation. [`sequential_greedy_density`] is its oracle.
 //!
-//! The paper's Sec. 4 practical techniques plug into the framework
-//! through the [`Techniques`] block of [`Config`]:
+//! The paper's Sec. 4 practical techniques plug into the engine through
+//! the [`Techniques`] block of [`Config`]:
 //!
-//! * **Sampling** ([`Sampling`], Sec. 4.1) — high-degree vertices track
-//!   an approximate induced degree over a hashed edge sample, shedding
-//!   the decrement contention on hubs; exact recounts at every peel
-//!   decision keep the output oracle-identical, and an undershoot that
-//!   pollutes a frontier triggers a Las-Vegas restart.
+//! * **Sampling** ([`Sampling`], Sec. 4.1) — high-priority elements
+//!   track an approximate priority over a hashed incidence sample,
+//!   shedding decrement contention on hubs; exact recounts at every
+//!   peel decision keep the output oracle-identical, and an undershoot
+//!   that pollutes a frontier triggers a Las-Vegas restart.
+//!   Unit-incidence problems only.
 //! * **Vertical granularity control** ([`Vgc`], Sec. 4.2) — workers
 //!   chase local peel chains sequentially instead of bouncing every
 //!   frontier hit through the hash bag, collapsing the tiny subrounds
-//!   that dominate sparse graphs' burdened span.
+//!   that dominate sparse inputs' burdened span. Unit-incidence
+//!   problems only.
 //! * **Offline peeling** ([`PeelMode::Offline`]) — the Julienne-style
-//!   histogram driver: gather the frontier's neighborhood, histogram
-//!   it, apply bulk decrements; no per-edge atomics, three global
-//!   syncs per subround. [`KCore::kcore_members`] reuses it to answer
-//!   single-core queries by bulk range peeling.
+//!   histogram driver: gather the frontier's decrements, histogram
+//!   them, apply in bulk; no per-target atomics, three global syncs per
+//!   subround. Applies to every problem;
+//!   [`KCore::kcore_members`] reuses it to answer single-core queries
+//!   by bulk range peeling.
 //!
 //! ```
-//! use kcore::{Config, KCore, Techniques};
+//! use kcore::{Config, DensestSubgraph, KCore, KTruss, Techniques};
 //! use kcore_graph::gen;
 //!
 //! // A 100x100 grid is a 2-core once the boundary peels inward.
@@ -47,14 +58,27 @@
 //!     let r = KCore::new(Config::with_techniques(techniques)).run(&g);
 //!     assert_eq!(r.coreness(), result.coreness());
 //! }
+//!
+//! // The same engine peels edges (k-truss) and tracks densities.
+//! let truss = KTruss::new(Config::default()).run(&g);
+//! assert_eq!(truss.max_trussness(), 2, "grids are triangle-free");
+//! let densest = DensestSubgraph::new(Config::default()).run(&g);
+//! assert!(densest.density() > 1.9, "the 2-core has ~2 edges per vertex");
 //! ```
 
 pub mod bz;
 mod config;
 mod peel;
+mod problems;
 mod result;
 
 pub use config::{Config, HistogramKind, Offline, PeelMode, Sampling, Techniques, Validation, Vgc};
 pub use kcore_buckets::BucketStrategy;
-pub use peel::KCore;
+pub use peel::{
+    ElementState, Incidence, PeelEngine, PeelProblem, SettleView, SnapshotRule, UnitIncidence,
+};
+pub use problems::{
+    sequential_greedy_density, sequential_trussness, DensestResult, DensestSubgraph, KCore, KTruss,
+    TrussnessResult,
+};
 pub use result::CorenessResult;

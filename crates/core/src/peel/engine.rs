@@ -1,0 +1,501 @@
+//! The problem-agnostic peel engine.
+//!
+//! The paper presents its work-efficient bucketing framework (Alg. 1 +
+//! the Sec. 4 techniques) in terms of k-core, but nothing in the hot
+//! loop is vertex-specific: it peels an *element universe* by monotone
+//! integer *priorities*, where settling an element lowers the priorities
+//! of incident elements through a clamped-decrement rule. This module
+//! factors that skeleton out:
+//!
+//! * [`PeelProblem`] — the plug-in surface: universe size, initial
+//!   priorities, the decrement rule (an [`Incidence`]), an optional
+//!   per-settle action, and result assembly. k-core, k-truss, and
+//!   densest-subgraph are clients (see [`crate::problems`]).
+//! * [`PeelEngine`] — owns everything else: the round/subround loop,
+//!   the hash-bag frontier, the pluggable bucket structure, adaptive
+//!   strategy upgrades, and the sampling / VGC / offline techniques
+//!   with their Las-Vegas restart loop.
+//!
+//! Two incidence flavors cover the known peeling problems:
+//!
+//! * [`Incidence::Unit`] — "each settled incident element costs one
+//!   priority unit" over static adjacency lists (k-core: vertex degree
+//!   over neighbors; densest-subgraph: the same). The atomic clamped
+//!   decrement makes settle + decrement race-free in a single fused
+//!   task, so subrounds need one global sync, VGC may chase local
+//!   chains, and the sampling scheme can approximate hub priorities.
+//! * [`Incidence::Snapshot`] — the decrement rule depends on *other*
+//!   elements' settle state (k-truss: a dying edge decrements the other
+//!   two edges of a triangle only while the triangle is still alive,
+//!   with tie-breaks among same-subround deaths). The engine then runs
+//!   each subround in two phases — stamp every frontier element
+//!   settled, global barrier, evaluate the rule against the frozen
+//!   [`SettleView`] — charging 2 syncs per subround in the burdened
+//!   span. Sampling and VGC assume unit semantics and are gated off.
+
+use super::sampling::SamplingState;
+use super::{offline, vgc};
+use crate::config::PeelMode;
+use crate::Config;
+use kcore_buckets::{BucketStrategy, BucketStructure, HierarchicalBuckets, PriorityView};
+use kcore_graph::CsrGraph;
+use kcore_parallel::primitives::pack_index;
+use kcore_parallel::{HashBag, RunStats, TechniqueCounters};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Settle-round sentinel for elements that have not settled yet.
+pub(crate) const UNSET: u32 = u32::MAX;
+
+/// Live peeling state exposed to bucket structures.
+pub(crate) struct LiveView<'a> {
+    pub(crate) prio: &'a [AtomicU32],
+    pub(crate) settled: &'a [AtomicU32],
+}
+
+impl PriorityView for LiveView<'_> {
+    fn key(&self, v: u32) -> u32 {
+        self.prio[v as usize].load(Ordering::Relaxed)
+    }
+
+    fn alive(&self, v: u32) -> bool {
+        self.settled[v as usize].load(Ordering::Relaxed) == UNSET
+    }
+}
+
+/// Error raised when a round's initial frontier contains a sample-mode
+/// element whose exact priority is *below* the round — the element
+/// should have been peeled earlier, so every settle since is suspect.
+/// The run is repeated without sampling (Las-Vegas recovery).
+pub(crate) struct Polluted;
+
+/// Unit-decrement incidence: `incident(e)` lists the elements whose
+/// settling costs `e` exactly one priority unit each (and vice versa —
+/// the relation is symmetric in every current client).
+///
+/// For k-core this is the CSR adjacency itself ([`CsrGraph`] implements
+/// the trait), and a problem's priorities must start at
+/// `incident(e).len()` minus any units already absent.
+pub trait UnitIncidence: Sync {
+    /// Elements incident to `e`, in strictly increasing order.
+    fn incident(&self, e: u32) -> &[u32];
+}
+
+impl UnitIncidence for CsrGraph {
+    #[inline]
+    fn incident(&self, v: u32) -> &[u32] {
+        self.neighbors(v)
+    }
+}
+
+/// Settle state of an element as seen from a [`SettleView`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementState {
+    /// Not settled in any subround so far.
+    Alive,
+    /// Settled in the *current* subround — dying together with the
+    /// element being processed. Rules use this for tie-breaking so that
+    /// a shared incidence (e.g. a triangle with two dying edges) is
+    /// charged exactly once.
+    Peer,
+    /// Settled in an earlier subround (possibly an earlier round): its
+    /// own settle processing already accounted for every incidence it
+    /// participated in.
+    Dead,
+}
+
+/// Consistent settle-state snapshot handed to [`SnapshotRule`]s.
+///
+/// All stamps for the current subround are written before any rule
+/// runs (the engine inserts a global barrier between the phases), so
+/// `state` answers identically no matter which worker asks or when.
+pub struct SettleView<'a> {
+    stamps: &'a [AtomicU32],
+    current: u32,
+}
+
+impl<'a> SettleView<'a> {
+    /// Crate-internal constructor: `current` identifies this subround's
+    /// stamps as peers. Only the engine's drivers build views — the
+    /// settle phase must have completed first.
+    pub(crate) fn new(stamps: &'a [AtomicU32], current: u32) -> Self {
+        Self { stamps, current }
+    }
+
+    /// Settle state of element `e` in this subround's snapshot.
+    #[inline]
+    pub fn state(&self, e: u32) -> ElementState {
+        let s = self.stamps[e as usize].load(Ordering::Relaxed);
+        if s == 0 {
+            ElementState::Alive
+        } else if s == self.current {
+            ElementState::Peer
+        } else {
+            ElementState::Dead
+        }
+    }
+}
+
+/// A decrement rule that must observe other elements' settle state.
+///
+/// Invoked once per settled element per subround, strictly after every
+/// same-subround settle has been stamped. Implementations must be
+/// deterministic given the snapshot: for any shared incidence among
+/// concurrently dying elements, exactly one of them may emit the
+/// decrement (tie-break on element id — see the k-truss rule).
+pub trait SnapshotRule: Sync {
+    /// Calls `emit(t)` once for every element `t` that loses one
+    /// priority unit because `e` settled at round `k`.
+    fn for_each_decrement(&self, e: u32, k: u32, view: &SettleView<'_>, emit: &mut dyn FnMut(u32));
+}
+
+/// How settling an element lowers other elements' priorities — the
+/// problem's clamped-decrement rule over its incidence relation.
+pub enum Incidence<'p> {
+    /// One unit per settled incident element over static lists; peeled
+    /// by the fused single-sync driver with sampling + VGC available.
+    Unit(&'p dyn UnitIncidence),
+    /// Arbitrary rule against a consistent settle snapshot; peeled by
+    /// the two-phase driver (settle barrier before rule evaluation).
+    Snapshot(&'p dyn SnapshotRule),
+}
+
+/// A peeling-with-monotone-priorities problem, pluggable into
+/// [`PeelEngine`].
+///
+/// The contract mirrors the paper's framework: the engine repeatedly
+/// extracts the minimum-priority frontier (round `k` takes every
+/// element of priority exactly `k`), settles it, and applies the
+/// problem's decrement rule, never letting a priority drop below the
+/// current round (the clamp). `assemble` receives each element's settle
+/// round — the generalized "coreness" — plus the run's instrumentation.
+pub trait PeelProblem: Sync {
+    /// What the peel produces (coreness array, trussness array, best
+    /// density prefix, ...).
+    type Output;
+
+    /// Problem name for diagnostics and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Size of the element universe (vertices for k-core, undirected
+    /// edges for k-truss).
+    fn num_elements(&self) -> usize;
+
+    /// Initial priority of every element (induced degree, triangle
+    /// support, ...).
+    fn init_priorities(&self) -> Vec<u32>;
+
+    /// The decrement rule.
+    fn incidence(&self) -> Incidence<'_>;
+
+    /// Settle action: invoked as element `e` settles at round `k`,
+    /// possibly from parallel workers (keep it cheap and thread-safe).
+    /// Default: no extra action beyond the engine's bookkeeping.
+    #[inline]
+    fn on_settle(&self, e: u32, k: u32) {
+        let _ = (e, k);
+    }
+
+    /// Builds the problem's result from per-element settle rounds and
+    /// the run statistics.
+    fn assemble(&self, rounds: Vec<u32>, stats: RunStats) -> Self::Output;
+}
+
+/// The generic peeling engine: Alg. 1's round/subround loop with the
+/// Sec. 4 techniques, parameterized by a [`PeelProblem`].
+///
+/// The engine runs `config` exactly as given — apply
+/// [`Config::apply_env_overrides`] first if the `KCORE_TECHNIQUES`
+/// override should be honored (the problem facades in
+/// [`crate::problems`] do this in their `new` constructors).
+pub struct PeelEngine<'p, P: PeelProblem> {
+    problem: &'p P,
+    config: Config,
+}
+
+impl<'p, P: PeelProblem> PeelEngine<'p, P> {
+    /// Creates an engine over `problem` with `config` taken verbatim.
+    pub fn new(problem: &'p P, config: Config) -> Self {
+        Self { problem, config }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Peels the whole universe and assembles the problem's result.
+    ///
+    /// Sampling's Las-Vegas restart loop lives here: a polluted
+    /// frontier aborts the attempt and the run repeats with sampling
+    /// disabled ([`RunStats::restarts`] counts the aborts).
+    pub fn run(&self) -> P::Output {
+        if self.problem.num_elements() == 0 {
+            return self.problem.assemble(Vec::new(), RunStats::default());
+        }
+        let mut config = self.config;
+        let mut restarts = 0u64;
+        loop {
+            let mut stats = RunStats::default();
+            let attempt = match config.techniques.mode {
+                PeelMode::Online => online_run(&config, self.problem, &mut stats),
+                PeelMode::Offline(off) => Ok(offline::run(&config, off, self.problem, &mut stats)),
+            };
+            match attempt {
+                Ok(rounds) => {
+                    stats.restarts = restarts;
+                    return self.problem.assemble(rounds, stats);
+                }
+                Err(Polluted) => {
+                    restarts += 1;
+                    config.techniques.sampling = None;
+                }
+            }
+        }
+    }
+}
+
+/// Swaps the adaptive strategy's flat array for HBS once round `k`
+/// reaches θ. Shared by the online and offline drivers.
+pub(crate) fn upgrade_adaptive_if_due(
+    bucket: &mut Box<dyn BucketStructure>,
+    pending: &mut bool,
+    k: u32,
+    theta: u32,
+    n: usize,
+    view: &LiveView<'_>,
+) {
+    if *pending && k >= theta {
+        let live = pack_index(n, |v| view.alive(v as u32));
+        let entries = live.iter().map(|&v| (v, view.key(v)));
+        *bucket = Box::new(HierarchicalBuckets::with_entries(k, entries));
+        *pending = false;
+    }
+}
+
+/// Shared references threaded through one fused (unit-incidence)
+/// subround's parallel peel, and the sampling recounts it triggers.
+pub(crate) struct OnlineCtx<'a, P: PeelProblem> {
+    pub(crate) problem: &'a P,
+    pub(crate) inc: &'a dyn UnitIncidence,
+    pub(crate) prio: &'a [AtomicU32],
+    pub(crate) settled: &'a [AtomicU32],
+    pub(crate) bag: &'a HashBag,
+    pub(crate) bucket: &'a dyn BucketStructure,
+    pub(crate) sampling: Option<&'a SamplingState>,
+    pub(crate) counters: &'a TechniqueCounters,
+    /// VGC chain bound; 0 disables chasing.
+    pub(crate) chain_limit: u32,
+}
+
+/// The online driver: dispatches on the problem's incidence flavor.
+fn online_run<P: PeelProblem>(
+    config: &Config,
+    problem: &P,
+    stats: &mut RunStats,
+) -> Result<Vec<u32>, Polluted> {
+    match problem.incidence() {
+        Incidence::Unit(inc) => online_unit(config, problem, inc, stats),
+        Incidence::Snapshot(rule) => Ok(online_snapshot(config, problem, rule, stats)),
+    }
+}
+
+/// Fused driver for unit incidences: Alg. 1 with the sampling and VGC
+/// hooks — settle and decrement run in one task per frontier element,
+/// one global sync per subround.
+fn online_unit<P: PeelProblem>(
+    config: &Config,
+    problem: &P,
+    inc: &dyn UnitIncidence,
+    stats: &mut RunStats,
+) -> Result<Vec<u32>, Polluted> {
+    let n = problem.num_elements();
+    let init = problem.init_priorities();
+    let prio: Vec<AtomicU32> = init.iter().map(|&d| AtomicU32::new(d)).collect();
+    let settled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+    let mut sampling =
+        config.techniques.sampling.and_then(|cfg| SamplingState::build(inc, &init, cfg));
+    if let Some(s) = &sampling {
+        stats.sampled_vertices = s.num_sampled() as u64;
+    }
+    let counters = TechniqueCounters::new();
+    let chain_limit = config.techniques.vgc.map_or(0, |v| v.chain_limit);
+
+    // Adaptive starts on the flat array and upgrades to HBS at the
+    // θ-core; the other strategies are fixed for the whole run.
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init);
+    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
+
+    let mut bag = HashBag::new(n);
+    let collect_stats = config.collect_stats;
+    let max_prio = *init.iter().max().unwrap_or(&0);
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let view = LiveView { prio: &prio, settled: &settled };
+        upgrade_adaptive_if_due(
+            &mut bucket,
+            &mut adaptive_pending,
+            k,
+            config.adaptive_theta,
+            n,
+            &view,
+        );
+        let mut frontier = bucket.next_frontier(k, &view);
+        if let Some(s) = &sampling {
+            // Sample-mode elements surface with their last recounted
+            // priority; confirm it exactly before peeling them.
+            s.validate_frontier(&frontier, k, inc, &settled, &counters)?;
+        }
+        let mut subrounds = 0u32;
+        loop {
+            if frontier.is_empty() {
+                // End-of-round validation: exact recounts of sample-mode
+                // elements near the boundary (all of them under
+                // `Validation::Full`). Anything caught at `<= k` belongs
+                // to this round and re-opens it.
+                let caught = match sampling.as_mut() {
+                    Some(s) => s.validate_round_end(k, inc, &prio, &settled, &*bucket, &counters),
+                    None => Vec::new(),
+                };
+                if caught.is_empty() {
+                    break;
+                }
+                frontier = caught;
+            }
+            subrounds += 1;
+            counters.reset_subround();
+            remaining -= frontier.len();
+            if collect_stats {
+                stats.max_frontier = stats.max_frontier.max(frontier.len());
+                let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                stats.work += (frontier.len() + arcs) as u64;
+            }
+            let ctx = OnlineCtx {
+                problem,
+                inc,
+                prio: &prio,
+                settled: &settled,
+                bag: &bag,
+                bucket: &*bucket,
+                sampling: sampling.as_ref(),
+                counters: &counters,
+                chain_limit,
+            };
+            frontier.par_iter().for_each(|&v| vgc::peel_from(&ctx, v, k));
+            remaining -= counters.chased.load(Ordering::Relaxed) as usize;
+            if collect_stats {
+                stats.work += counters.chased_work.load(Ordering::Relaxed);
+                stats.record_subround(1, counters.chain.get().max(1));
+            }
+            frontier = bag.extract_all();
+        }
+        if collect_stats {
+            stats.record_round(subrounds);
+        }
+        k += 1;
+    }
+    counters.merge_sampling_into(stats);
+    Ok(settled.into_iter().map(AtomicU32::into_inner).collect())
+}
+
+/// Clamped decrement of `slot` while above `k`: returns the replaced
+/// value, or `None` when the value already sits at or below `k` (dead
+/// elements and same-round frontier members are filtered by the clamp,
+/// never by an explicit liveness check).
+#[inline]
+pub(crate) fn clamped_decrement(slot: &AtomicU32, k: u32) -> Option<u32> {
+    slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| (d > k).then(|| d - 1)).ok()
+}
+
+/// Two-phase driver for snapshot rules: per subround, stamp the whole
+/// frontier settled (phase 1), then — after the implicit global barrier
+/// — evaluate the rule against the frozen snapshot and apply clamped
+/// decrements (phase 2). Two global syncs per subround in the burdened
+/// span; sampling and VGC do not apply.
+fn online_snapshot<P: PeelProblem>(
+    config: &Config,
+    problem: &P,
+    rule: &dyn SnapshotRule,
+    stats: &mut RunStats,
+) -> Vec<u32> {
+    let n = problem.num_elements();
+    let init = problem.init_priorities();
+    let prio: Vec<AtomicU32> = init.iter().map(|&d| AtomicU32::new(d)).collect();
+    let settled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    // Subround stamps: 0 = never settled; ids start at 1 and never
+    // reset, so `SettleView::state` distinguishes peers from the dead.
+    let stamps: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut subround_id = 0u32;
+
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init);
+    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
+
+    let mut bag = HashBag::new(n);
+    let collect_stats = config.collect_stats;
+    let emitted = AtomicU64::new(0);
+    let max_prio = *init.iter().max().unwrap_or(&0);
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let view = LiveView { prio: &prio, settled: &settled };
+        upgrade_adaptive_if_due(
+            &mut bucket,
+            &mut adaptive_pending,
+            k,
+            config.adaptive_theta,
+            n,
+            &view,
+        );
+        let mut frontier = bucket.next_frontier(k, &view);
+        let mut subrounds = 0u32;
+        while !frontier.is_empty() {
+            subrounds += 1;
+            subround_id += 1;
+            remaining -= frontier.len();
+            if collect_stats {
+                stats.max_frontier = stats.max_frontier.max(frontier.len());
+                emitted.store(0, Ordering::Relaxed);
+            }
+            // Phase 1: settle — every stamp lands before any rule runs.
+            frontier.par_iter().for_each(|&e| {
+                settled[e as usize].store(k, Ordering::Relaxed);
+                stamps[e as usize].store(subround_id, Ordering::Relaxed);
+                problem.on_settle(e, k);
+            });
+            // Phase 2: evaluate the rule against the frozen snapshot.
+            let sview = SettleView { stamps: &stamps, current: subround_id };
+            frontier.par_iter().for_each(|&e| {
+                let mut local = 0u64;
+                rule.for_each_decrement(e, k, &sview, &mut |t| {
+                    local += 1;
+                    if let Some(prev) = clamped_decrement(&prio[t as usize], k) {
+                        if prev == k + 1 {
+                            // This emit moved t to k: t is peeled
+                            // exactly once, in the next subround.
+                            bag.insert(t);
+                        } else {
+                            bucket.on_decrease(t, prev, prev - 1, k);
+                        }
+                    }
+                });
+                if collect_stats && local > 0 {
+                    emitted.fetch_add(local, Ordering::Relaxed);
+                }
+            });
+            if collect_stats {
+                stats.work += frontier.len() as u64 + emitted.load(Ordering::Relaxed);
+                stats.record_subround(2, 1);
+            }
+            frontier = bag.extract_all();
+        }
+        if collect_stats {
+            stats.record_round(subrounds);
+        }
+        k += 1;
+    }
+    settled.into_iter().map(AtomicU32::into_inner).collect()
+}

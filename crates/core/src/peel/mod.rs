@@ -1,554 +1,46 @@
-//! The work-efficient parallel peeling framework (paper Alg. 1) and its
-//! Sec. 4 techniques subsystem.
+//! The work-efficient parallel peeling layer: the problem-agnostic
+//! [`engine`] plus the paper's Sec. 4 techniques.
 //!
-//! Round `k` peels every vertex of induced degree `k` until none
-//! remain, then advances to `k + 1`. Within a round, each *subround*
-//! peels the current frontier in parallel:
+//! Round `k` peels every element of priority `k` until none remain,
+//! then advances to `k + 1`. Within a round, each *subround* peels the
+//! current frontier in parallel:
 //!
-//! 1. every frontier vertex settles (its coreness is `k`),
-//! 2. each of its still-active neighbors gets an atomic **clamped
-//!    decrement** — the induced degree decreases only while it exceeds
-//!    `k`, so it never drops below the current round and every
-//!    intermediate value is observed by exactly one decrementing
-//!    thread,
-//! 3. the unique thread that moves a neighbor *to* `k` inserts it into
+//! 1. every frontier element settles (its settle round is `k`),
+//! 2. the problem's decrement rule lowers incident elements' priorities
+//!    through atomic **clamped decrements** — a priority decreases only
+//!    while it exceeds `k`, so it never drops below the current round
+//!    and every intermediate value is observed by exactly one
+//!    decrementing thread,
+//! 3. the unique thread that moves an element *to* `k` inserts it into
 //!    the parallel hash bag, which becomes the next subround's
 //!    frontier; decrements that stay above `k` are reported to the
 //!    bucket structure instead.
 //!
 //! Initial per-round frontiers come from a pluggable
-//! [`BucketStructure`]; total work is `O(n + m)` plus the structure's
-//! maintenance cost (Thm. 3.1).
+//! [`kcore_buckets::BucketStructure`]; total work is `O(n + m)` plus
+//! the structure's maintenance cost (Thm. 3.1).
 //!
-//! The techniques subsystem plugs into this loop behind
-//! [`crate::Techniques`]:
+//! The modules:
 //!
-//! * [`sampling`] — Sec. 4.1's sampling scheme: high-degree vertices
-//!   track an approximate induced degree over a hashed edge sample, and
+//! * [`engine`] — [`engine::PeelProblem`] and [`engine::PeelEngine`]:
+//!   the subround loop, frontier plumbing, and technique dispatch. The
+//!   concrete problems (k-core, k-truss, densest subgraph) live in
+//!   [`crate::problems`].
+//! * [`sampling`] — Sec. 4.1's sampling scheme: high-priority elements
+//!   track an approximate priority over a hashed incidence sample, and
 //!   are only peeled after an exact recount.
 //! * [`vgc`] — Sec. 4.2's vertical granularity control: a worker chases
 //!   the local peel chain sequentially instead of bouncing every
 //!   frontier hit through the hash bag.
 //! * [`offline`] — the Julienne-style offline driver: per subround,
-//!   gather the frontier's neighborhood, histogram it, and apply bulk
-//!   decrements without per-edge atomics.
+//!   gather the frontier's decrements, histogram them, and apply bulk
+//!   updates without per-target atomics.
 
+pub mod engine;
 pub mod offline;
 pub mod sampling;
 pub mod vgc;
 
-use crate::config::PeelMode;
-use crate::{Config, CorenessResult};
-use kcore_buckets::{BucketStrategy, BucketStructure, DegreeView, HierarchicalBuckets};
-use kcore_graph::CsrGraph;
-use kcore_parallel::primitives::pack_index;
-use kcore_parallel::{HashBag, RunStats, TechniqueCounters};
-use rayon::prelude::*;
-use sampling::SamplingState;
-use std::sync::atomic::{AtomicU32, Ordering};
-
-/// Coreness sentinel for vertices that have not settled yet.
-pub(crate) const UNSET: u32 = u32::MAX;
-
-/// Live peeling state exposed to bucket structures.
-pub(crate) struct LiveView<'a> {
-    pub(crate) deg: &'a [AtomicU32],
-    pub(crate) coreness: &'a [AtomicU32],
-}
-
-impl DegreeView for LiveView<'_> {
-    fn key(&self, v: u32) -> u32 {
-        self.deg[v as usize].load(Ordering::Relaxed)
-    }
-
-    fn alive(&self, v: u32) -> bool {
-        self.coreness[v as usize].load(Ordering::Relaxed) == UNSET
-    }
-}
-
-/// Error raised when a round's initial frontier contains a sample-mode
-/// vertex whose exact induced degree is *below* the round — the vertex
-/// should have been peeled earlier, so every coreness settled since is
-/// suspect. The run is repeated without sampling (Las-Vegas recovery).
-pub(crate) struct Polluted;
-
-/// The parallel k-core decomposition framework.
-#[derive(Debug, Clone, Default)]
-pub struct KCore {
-    config: Config,
-}
-
-impl KCore {
-    /// Creates the framework with the given configuration, after
-    /// applying the `KCORE_TECHNIQUES` environment override (see
-    /// [`Config::apply_env_overrides`]).
-    pub fn new(config: Config) -> Self {
-        Self { config: config.apply_env_overrides() }
-    }
-
-    /// Creates the framework with `config` exactly as given, bypassing
-    /// the `KCORE_TECHNIQUES` environment override. For callers (and
-    /// tests) that assert technique-specific behavior; prefer
-    /// [`KCore::new`] everywhere else so CI's forced-techniques matrix
-    /// reaches your code path.
-    pub fn with_exact_config(config: Config) -> Self {
-        Self { config }
-    }
-
-    /// The configuration this instance runs with.
-    pub fn config(&self) -> &Config {
-        &self.config
-    }
-
-    /// Decomposes `g`, returning every vertex's coreness.
-    ///
-    /// [`RunStats`] describe the successful attempt;
-    /// [`RunStats::restarts`] additionally counts aborted sampling
-    /// attempts (expected 0 — see [`crate::Sampling`]).
-    pub fn run(&self, g: &CsrGraph) -> CorenessResult {
-        if g.num_vertices() == 0 {
-            return CorenessResult::new(Vec::new(), RunStats::default());
-        }
-        let mut config = self.config;
-        let mut restarts = 0u64;
-        loop {
-            let mut stats = RunStats::default();
-            let attempt = match config.techniques.mode {
-                PeelMode::Online => online_run(&config, g, &mut stats),
-                PeelMode::Offline(off) => Ok(offline::run(&config, off, g, &mut stats)),
-            };
-            match attempt {
-                Ok(coreness) => {
-                    stats.restarts = restarts;
-                    return CorenessResult::new(coreness, stats);
-                }
-                Err(Polluted) => {
-                    restarts += 1;
-                    config.techniques.sampling = None;
-                }
-            }
-        }
-    }
-
-    /// Membership of the `k`-core (`true` = vertex has coreness `>= k`),
-    /// computed directly by offline range peeling: every vertex of
-    /// degree below `k` is extracted in one bulk range step and the
-    /// cascade is driven by histogram decrements. Much cheaper than a
-    /// full decomposition when only one core is needed (the serving
-    /// path for "give me the k-core" queries).
-    pub fn kcore_members(&self, g: &CsrGraph, k: u32) -> Vec<bool> {
-        let off = match self.config.techniques.mode {
-            PeelMode::Offline(off) => off,
-            PeelMode::Online => crate::config::Offline::default(),
-        };
-        offline::kcore_membership(g, k, off)
-    }
-}
-
-/// Swaps the adaptive strategy's flat array for HBS once round `k`
-/// reaches θ. Shared by the online and offline drivers.
-pub(crate) fn upgrade_adaptive_if_due(
-    bucket: &mut Box<dyn BucketStructure>,
-    pending: &mut bool,
-    k: u32,
-    theta: u32,
-    n: usize,
-    view: &LiveView<'_>,
-) {
-    if *pending && k >= theta {
-        let live = pack_index(n, |v| view.alive(v as u32));
-        let entries = live.iter().map(|&v| (v, view.key(v)));
-        *bucket = Box::new(HierarchicalBuckets::with_entries(k, entries));
-        *pending = false;
-    }
-}
-
-/// Shared references threaded through one online subround's parallel
-/// peel (and the sampling recounts it triggers).
-pub(crate) struct OnlineCtx<'a> {
-    pub(crate) g: &'a CsrGraph,
-    pub(crate) deg: &'a [AtomicU32],
-    pub(crate) coreness: &'a [AtomicU32],
-    pub(crate) bag: &'a HashBag,
-    pub(crate) bucket: &'a dyn BucketStructure,
-    pub(crate) sampling: Option<&'a SamplingState>,
-    pub(crate) counters: &'a TechniqueCounters,
-    /// VGC chain bound; 0 disables chasing.
-    pub(crate) chain_limit: u32,
-}
-
-/// The online (hash-bag) driver: Alg. 1 with the sampling and VGC hooks.
-fn online_run(config: &Config, g: &CsrGraph, stats: &mut RunStats) -> Result<Vec<u32>, Polluted> {
-    let n = g.num_vertices();
-    let init_degrees = g.degrees();
-    let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
-    let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
-
-    let mut sampling =
-        config.techniques.sampling.and_then(|cfg| SamplingState::build(g, &init_degrees, cfg));
-    if let Some(s) = &sampling {
-        stats.sampled_vertices = s.num_sampled() as u64;
-    }
-    let counters = TechniqueCounters::new();
-    let chain_limit = config.techniques.vgc.map_or(0, |v| v.chain_limit);
-
-    // Adaptive starts on the flat array and upgrades to HBS at the
-    // θ-core; the other strategies are fixed for the whole run.
-    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init_degrees);
-    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
-
-    let mut bag = HashBag::new(n);
-    let collect_stats = config.collect_stats;
-    let max_deg = *init_degrees.iter().max().unwrap_or(&0);
-    let mut remaining = n;
-    let mut k = 0u32;
-    while remaining > 0 {
-        assert!(k <= max_deg, "peeling stalled: {remaining} vertices left after round {max_deg}");
-        let view = LiveView { deg: &deg, coreness: &coreness };
-        upgrade_adaptive_if_due(
-            &mut bucket,
-            &mut adaptive_pending,
-            k,
-            config.adaptive_theta,
-            n,
-            &view,
-        );
-        let mut frontier = bucket.next_frontier(k, &view);
-        if let Some(s) = &sampling {
-            // Sample-mode vertices surface with their last recounted
-            // degree; confirm it exactly before peeling them.
-            s.validate_frontier(&frontier, k, g, &coreness, &counters)?;
-        }
-        let mut subrounds = 0u32;
-        loop {
-            if frontier.is_empty() {
-                // End-of-round validation: exact recounts of sample-mode
-                // vertices near the boundary (all of them under
-                // `Validation::Full`). Anything caught at `<= k` belongs
-                // to this round and re-opens it.
-                let caught = match sampling.as_mut() {
-                    Some(s) => s.validate_round_end(k, g, &deg, &coreness, &*bucket, &counters),
-                    None => Vec::new(),
-                };
-                if caught.is_empty() {
-                    break;
-                }
-                frontier = caught;
-            }
-            subrounds += 1;
-            counters.reset_subround();
-            remaining -= frontier.len();
-            if collect_stats {
-                stats.max_frontier = stats.max_frontier.max(frontier.len());
-                let arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
-                stats.work += (frontier.len() + arcs) as u64;
-            }
-            let ctx = OnlineCtx {
-                g,
-                deg: &deg,
-                coreness: &coreness,
-                bag: &bag,
-                bucket: &*bucket,
-                sampling: sampling.as_ref(),
-                counters: &counters,
-                chain_limit,
-            };
-            frontier.par_iter().for_each(|&v| vgc::peel_from(&ctx, v, k));
-            remaining -= counters.chased.load(Ordering::Relaxed) as usize;
-            if collect_stats {
-                stats.work += counters.chased_work.load(Ordering::Relaxed);
-                stats.record_subround(1, counters.chain.get().max(1));
-            }
-            frontier = bag.extract_all();
-        }
-        if collect_stats {
-            stats.record_round(subrounds);
-        }
-        k += 1;
-    }
-    counters.merge_sampling_into(stats);
-    Ok(coreness.into_iter().map(AtomicU32::into_inner).collect())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::bz::bz_coreness;
-    use crate::config::{PeelMode, Sampling, Techniques, Validation, Vgc};
-    use kcore_graph::{gen, GraphBuilder};
-    use kcore_parallel::pool::with_threads;
-
-    /// Every bucketing strategy the framework supports.
-    fn strategies() -> Vec<BucketStrategy> {
-        vec![
-            BucketStrategy::Single,
-            BucketStrategy::Fixed(16),
-            BucketStrategy::Hierarchical,
-            BucketStrategy::Adaptive,
-        ]
-    }
-
-    /// Technique variants the oracle tests sweep. Sampling uses a low
-    /// threshold so sample mode actually engages on test-sized graphs.
-    fn technique_variants() -> Vec<(Techniques, &'static str)> {
-        let sampling = Some(Sampling::with_threshold(4));
-        vec![
-            (Techniques::default(), "baseline"),
-            (Techniques { sampling, ..Techniques::default() }, "sampling"),
-            (Techniques { vgc: Some(Vgc::default()), ..Techniques::default() }, "vgc"),
-            (
-                Techniques { sampling, vgc: Some(Vgc { chain_limit: 8 }), ..Techniques::default() },
-                "sampling+vgc",
-            ),
-            (Techniques::offline(), "offline"),
-        ]
-    }
-
-    /// Asserts that every strategy × technique combination agrees with
-    /// the BZ oracle on `g`.
-    fn assert_matches_oracle(g: &CsrGraph, label: &str) {
-        let want = bz_coreness(g);
-        for strategy in strategies() {
-            for (techniques, tname) in technique_variants() {
-                let config = Config { bucket_strategy: strategy, techniques, ..Config::default() };
-                let got = KCore::new(config).run(g);
-                assert_eq!(
-                    got.coreness(),
-                    want.as_slice(),
-                    "{label}: strategy {strategy} + {tname} disagrees with BZ"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn empty_graph() {
-        let r = KCore::new(Config::default()).run(&CsrGraph::empty());
-        assert_eq!(r.num_vertices(), 0);
-        assert_eq!(r.kmax(), 0);
-    }
-
-    #[test]
-    fn isolated_vertices_have_coreness_zero() {
-        let g = GraphBuilder::new(5).build();
-        let r = KCore::new(Config::default()).run(&g);
-        assert_eq!(r.coreness(), &[0; 5]);
-        assert_eq!(r.kmax(), 0);
-    }
-
-    #[test]
-    fn structural_graphs_match_oracle() {
-        assert_matches_oracle(&gen::path(40), "path");
-        assert_matches_oracle(&gen::cycle(33), "cycle");
-        assert_matches_oracle(&gen::star(65), "star");
-        assert_matches_oracle(&gen::complete(20), "complete");
-        assert_matches_oracle(&gen::complete_bipartite(4, 9), "bipartite");
-    }
-
-    #[test]
-    fn grid_families_match_oracle() {
-        assert_matches_oracle(&gen::grid2d(24, 17), "grid2d");
-        assert_matches_oracle(&gen::grid3d(6, 7, 8), "grid3d");
-        assert_matches_oracle(&gen::mesh(15, 15), "mesh");
-        assert_matches_oracle(&gen::road(20, 20, 0.15, 0.1, 7), "road");
-    }
-
-    #[test]
-    fn random_families_match_oracle() {
-        assert_matches_oracle(&gen::erdos_renyi(300, 900, 3), "erdos_renyi");
-        assert_matches_oracle(&gen::barabasi_albert(400, 3, 11), "barabasi_albert");
-        assert_matches_oracle(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 5), "rmat");
-        assert_matches_oracle(&gen::knn(250, 4, 13), "knn");
-        assert_matches_oracle(&gen::planted_core(200, 2, 40, 9), "planted_core");
-    }
-
-    #[test]
-    fn hcns_exercises_deep_bucket_hierarchies() {
-        assert_matches_oracle(&gen::hcns(40), "hcns");
-    }
-
-    #[test]
-    fn grid_kmax_is_2() {
-        let g = gen::grid2d(100, 100);
-        let r = KCore::new(Config::default()).run(&g);
-        assert_eq!(r.kmax(), 2);
-    }
-
-    #[test]
-    fn stats_are_collected_by_default() {
-        let g = gen::grid2d(30, 30);
-        let r = KCore::new(Config::default()).run(&g);
-        let s = r.stats();
-        assert!(s.rounds >= 3, "grid peels over rounds 0..=2, got {}", s.rounds);
-        assert!(s.subrounds >= s.rounds);
-        assert!(s.work as usize >= g.num_vertices() + g.num_arcs());
-        assert!(s.max_frontier > 0);
-        assert_eq!(s.subrounds_per_round.len(), s.rounds as usize);
-    }
-
-    #[test]
-    fn stats_can_be_disabled() {
-        let g = gen::grid2d(10, 10);
-        let config = Config { collect_stats: false, ..Config::default() };
-        let r = KCore::new(config).run(&g);
-        assert_eq!(r.stats().rounds, 0);
-        assert_eq!(r.stats().work, 0);
-        // Coreness is still correct.
-        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
-    }
-
-    #[test]
-    fn adaptive_switchover_crosses_theta() {
-        // planted_core has kmax >= 39 > θ = 16, so Adaptive upgrades to
-        // HBS mid-run; the result must be unaffected.
-        let g = gen::planted_core(300, 2, 60, 21);
-        let adaptive = KCore::new(Config::default()).run(&g);
-        assert_eq!(adaptive.coreness(), bz_coreness(&g).as_slice());
-        assert!(adaptive.kmax() >= 16);
-    }
-
-    #[test]
-    fn peeling_is_deterministic_for_fixed_input() {
-        let g = gen::rmat(8, 6, 0.57, 0.19, 0.19, 2);
-        let a = KCore::new(Config::default()).run(&g);
-        let b = KCore::new(Config::default()).run(&g);
-        assert_eq!(a.coreness(), b.coreness());
-    }
-
-    #[test]
-    fn sampling_counters_populate_on_power_law() {
-        let g = gen::barabasi_albert(3000, 4, 11);
-        let techniques = Techniques {
-            sampling: Some(Sampling::with_threshold(16)),
-            vgc: Some(Vgc::default()),
-            mode: PeelMode::Online,
-        };
-        let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
-        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
-        let s = r.stats();
-        assert!(s.sampled_vertices > 0, "hubs above the threshold must enter sample mode");
-        assert!(s.resamples > 0, "sample-mode vertices are only peeled after exact recounts");
-        assert!(s.validate_calls > 0, "end-of-round validation must have run");
-        assert!(s.peak_chain >= 1, "subround chains feed peak_chain");
-        assert_eq!(s.restarts, 0, "full validation never restarts");
-    }
-
-    #[test]
-    fn sampling_full_validation_is_exact_under_concurrency() {
-        // Hammer the concurrent recount paths: low threshold samples
-        // most of a dense power-law graph.
-        for seed in 0..5 {
-            let g = gen::barabasi_albert(1200, 6, seed);
-            let techniques =
-                Techniques { sampling: Some(Sampling::with_threshold(8)), ..Techniques::default() };
-            let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
-            assert_eq!(r.coreness(), bz_coreness(&g).as_slice(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn vgc_collapses_subrounds_on_a_path() {
-        // A path peels inward from both ends: without VGC that is ~n/2
-        // subrounds of 2 vertices; with VGC one worker chases the whole
-        // chain. Run single-threaded for a deterministic chain shape.
-        let g = gen::path(400);
-        let (plain, chased) = with_threads(1, || {
-            let plain = KCore::with_exact_config(Config::default()).run(&g);
-            let vgc = Techniques { vgc: Some(Vgc { chain_limit: 1000 }), ..Techniques::default() };
-            let chased = KCore::with_exact_config(Config::with_techniques(vgc)).run(&g);
-            (plain, chased)
-        });
-        assert_eq!(plain.coreness(), chased.coreness());
-        let (ps, cs) = (plain.stats(), chased.stats());
-        assert!(
-            cs.subrounds < ps.subrounds / 4,
-            "VGC must collapse subrounds: {} vs {}",
-            cs.subrounds,
-            ps.subrounds
-        );
-        assert!(cs.peak_chain > 8, "long chains must be recorded, got {}", cs.peak_chain);
-        assert!(cs.burdened_span < ps.burdened_span, "fewer syncs must shrink the burdened span");
-    }
-
-    #[test]
-    fn vgc_chain_limit_bounds_the_chain() {
-        let g = gen::path(400);
-        let vgc = Techniques { vgc: Some(Vgc { chain_limit: 10 }), ..Techniques::default() };
-        let r = with_threads(1, || KCore::with_exact_config(Config::with_techniques(vgc)).run(&g));
-        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
-        assert!(r.stats().peak_chain <= 10, "chain {} exceeds limit", r.stats().peak_chain);
-    }
-
-    #[test]
-    fn offline_charges_more_syncs_per_subround() {
-        let g = gen::mesh(20, 20);
-        let online = KCore::with_exact_config(Config::default()).run(&g);
-        let offline =
-            KCore::with_exact_config(Config::with_techniques(Techniques::offline())).run(&g);
-        assert_eq!(online.coreness(), offline.coreness());
-        let (on, off) = (online.stats(), offline.stats());
-        assert_eq!(on.global_syncs, on.subrounds);
-        assert_eq!(off.global_syncs, 3 * off.subrounds, "gather + histogram + apply");
-        assert!(off.burdened_span > on.burdened_span);
-    }
-
-    #[test]
-    fn watermark_sampling_restarts_and_stays_exact() {
-        // Zero slack + coarse rate makes undershoot detection miss often
-        // enough that polluted frontiers actually occur; the Las-Vegas
-        // restart must repair every one of them. Single-threaded so the
-        // recount schedule (and thus the restart count) is reproducible.
-        let mut restarts = 0u64;
-        for seed in 0..6 {
-            let g = gen::barabasi_albert(600, 4, seed);
-            let techniques = Techniques {
-                sampling: Some(Sampling {
-                    threshold: 4,
-                    rate_log2: 3,
-                    slack: 0,
-                    validation: Validation::Watermark,
-                    seed,
-                }),
-                ..Techniques::default()
-            };
-            let r = with_threads(1, || {
-                KCore::with_exact_config(Config::with_techniques(techniques)).run(&g)
-            });
-            assert_eq!(r.coreness(), bz_coreness(&g).as_slice(), "seed {seed}");
-            restarts += r.stats().restarts;
-        }
-        assert!(restarts > 0, "zero slack must pollute at least one frontier across seeds");
-    }
-
-    #[test]
-    fn watermark_sampling_with_default_slack_does_not_restart() {
-        let g = gen::barabasi_albert(2000, 5, 3);
-        let techniques = Techniques {
-            sampling: Some(Sampling {
-                validation: Validation::Watermark,
-                ..Sampling::with_threshold(32)
-            }),
-            ..Techniques::default()
-        };
-        let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
-        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
-        assert_eq!(r.stats().restarts, 0, "default slack keeps the failure probability negligible");
-    }
-
-    #[test]
-    fn kcore_members_agree_with_coreness() {
-        let kc = KCore::new(Config::default());
-        for (label, g) in [
-            ("ba", gen::barabasi_albert(500, 3, 7)),
-            ("mesh", gen::mesh(20, 20)),
-            ("hcns", gen::hcns(30)),
-        ] {
-            let coreness = kc.run(&g);
-            for k in [0, 1, 2, 3, 5, coreness.kmax(), coreness.kmax() + 1] {
-                let members = kc.kcore_members(&g, k);
-                let want: Vec<bool> = coreness.coreness().iter().map(|&c| c >= k).collect();
-                assert_eq!(members, want, "{label}: {k}-core membership");
-            }
-        }
-    }
-}
+pub use engine::{
+    ElementState, Incidence, PeelEngine, PeelProblem, SettleView, SnapshotRule, UnitIncidence,
+};

@@ -1,18 +1,23 @@
-//! Offline (Julienne-style) histogram peeling.
+//! Offline (Julienne-style) histogram peeling, generic over
+//! [`PeelProblem`]s.
 //!
-//! The online driver discovers `DecreaseKey`s with per-edge atomic
+//! The online driver discovers `DecreaseKey`s with per-target atomic
 //! decrements. The offline driver (Julienne's `Peel`, the paper's
-//! online/offline ablation axis) avoids per-edge atomics entirely: per
-//! subround it
+//! online/offline ablation axis) avoids per-target atomics entirely:
+//! per subround it
 //!
-//! 1. settles the frontier,
-//! 2. **gathers** every still-live neighbor of the frontier into one
-//!    list `L` (with duplicates),
-//! 3. **histograms** `L` — `(vertex, multiplicity)` pairs, the count of
-//!    edges each vertex just lost (see [`kcore_parallel::histogram`];
-//!    the paper uses a parallel semisort here),
-//! 4. **applies** the bulk decrements: each vertex's degree drops by
-//!    its multiplicity, clamped at the current round `k`; vertices
+//! 1. settles the frontier (an exclusive phase, so later reads see a
+//!    stable snapshot),
+//! 2. **gathers** every priority decrement the frontier causes into one
+//!    list `L` (with duplicates) — live incident elements for
+//!    [`Incidence::Unit`] problems, the rule's emitted targets for
+//!    [`Incidence::Snapshot`] problems,
+//! 3. **histograms** `L` — `(element, multiplicity)` pairs, the number
+//!    of units each element just lost (see
+//!    [`kcore_parallel::histogram`]; the paper uses a parallel semisort
+//!    here),
+//! 4. **applies** the bulk decrements: each element's priority drops by
+//!    its multiplicity, clamped at the current round `k`; elements
 //!    landing on `k` form the next frontier, the rest re-file in the
 //!    bucket structure.
 //!
@@ -20,16 +25,18 @@
 //! instead of one, which is exactly how the burdened span accounts it
 //! (`record_subround(3, …)`; Fig. 9's online/offline gap).
 //!
-//! [`kcore_membership`] reuses the machinery for the *range* form: to
-//! extract one k-core, every vertex of degree `< k` is pulled in a
+//! [`range_membership`] reuses the machinery for the *range* form: to
+//! extract one k-core, every element of priority `< k` is pulled in a
 //! single bulk step ([`BucketStructure::next_frontier_range`]) and the
 //! cascade needs no round ordering at all — the serving path for
-//! individual core queries.
+//! individual core queries ([`crate::KCore::kcore_members`]).
 
-use super::{upgrade_adaptive_if_due, LiveView, UNSET};
+use super::engine::{
+    upgrade_adaptive_if_due, Incidence, LiveView, PeelProblem, SettleView, SnapshotRule,
+    UnitIncidence, UNSET,
+};
 use crate::config::{Config, HistogramKind, Offline};
 use kcore_buckets::{BucketStrategy, BucketStructure, SingleBucket};
-use kcore_graph::CsrGraph;
 use kcore_parallel::histogram::{histogram_atomic, histogram_auto, histogram_sort};
 use kcore_parallel::RunStats;
 use rayon::prelude::*;
@@ -38,22 +45,35 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// The offline decomposition driver. Sampling and VGC are online-only
 /// refinements (they exist to temper the online driver's atomics and
 /// subround synchronization) and are ignored here.
-pub(crate) fn run(config: &Config, off: Offline, g: &CsrGraph, stats: &mut RunStats) -> Vec<u32> {
-    let n = g.num_vertices();
-    let init_degrees = g.degrees();
-    let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
-    let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+pub(crate) fn run<P: PeelProblem>(
+    config: &Config,
+    off: Offline,
+    problem: &P,
+    stats: &mut RunStats,
+) -> Vec<u32> {
+    let n = problem.num_elements();
+    let init = problem.init_priorities();
+    let prio: Vec<AtomicU32> = init.iter().map(|&d| AtomicU32::new(d)).collect();
+    let settled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    let incidence = problem.incidence();
+    // Subround stamps for snapshot rules (0 = never settled; ids start
+    // at 1). Unit incidences read liveness from `settled` directly.
+    let stamps: Vec<AtomicU32> = match incidence {
+        Incidence::Snapshot(_) => (0..n).map(|_| AtomicU32::new(0)).collect(),
+        Incidence::Unit(_) => Vec::new(),
+    };
+    let mut subround_id = 0u32;
 
-    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init_degrees);
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init);
     let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
 
     let collect_stats = config.collect_stats;
-    let max_deg = *init_degrees.iter().max().unwrap_or(&0);
+    let max_prio = *init.iter().max().unwrap_or(&0);
     let mut remaining = n;
     let mut k = 0u32;
     while remaining > 0 {
-        assert!(k <= max_deg, "peeling stalled: {remaining} vertices left after round {max_deg}");
-        let view = LiveView { deg: &deg, coreness: &coreness };
+        assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
             &mut adaptive_pending,
@@ -66,17 +86,42 @@ pub(crate) fn run(config: &Config, off: Offline, g: &CsrGraph, stats: &mut RunSt
         let mut subrounds = 0u32;
         while !frontier.is_empty() {
             subrounds += 1;
+            subround_id += 1;
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
-                let arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
-                stats.work += (frontier.len() + arcs) as u64;
+                // Unit incidences charge the frontier's full incident
+                // lists (the gather scans them all, live or not);
+                // snapshot rules charge the emitted decrement list
+                // below, which is the work they actually perform.
+                stats.work += frontier.len() as u64;
+                if let Incidence::Unit(inc) = incidence {
+                    let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                    stats.work += arcs as u64;
+                }
             }
             // 1. settle — exclusive phase, so the gather below reads a
-            // stable liveness snapshot.
-            frontier.par_iter().for_each(|&v| coreness[v as usize].store(k, Ordering::Relaxed));
-            // 2. gather the live neighborhood, with duplicates.
-            let gathered = gather_live(g, &frontier, &coreness);
+            // stable snapshot.
+            frontier.par_iter().for_each(|&v| {
+                settled[v as usize].store(k, Ordering::Relaxed);
+                if let Incidence::Snapshot(_) = incidence {
+                    stamps[v as usize].store(subround_id, Ordering::Relaxed);
+                }
+                problem.on_settle(v, k);
+            });
+            // 2. gather the decrement list, with duplicates.
+            let gathered = match incidence {
+                Incidence::Unit(inc) => gather_live(inc, &frontier, &settled),
+                Incidence::Snapshot(rule) => {
+                    let sview = SettleView::new(&stamps, subround_id);
+                    gather_rule(rule, &frontier, k, &sview)
+                }
+            };
+            if collect_stats {
+                if let Incidence::Snapshot(_) = incidence {
+                    stats.work += gathered.len() as u64;
+                }
+            }
             // 3. histogram it.
             let hist = run_histogram(off.histogram, gathered, n);
             if collect_stats {
@@ -87,13 +132,13 @@ pub(crate) fn run(config: &Config, off: Offline, g: &CsrGraph, stats: &mut RunSt
                 .par_iter()
                 .filter_map(|&(u, c)| {
                     let u = u as usize;
-                    if coreness[u].load(Ordering::Relaxed) != UNSET {
+                    if settled[u].load(Ordering::Relaxed) != UNSET {
                         return None;
                     }
-                    let d = deg[u].load(Ordering::Relaxed);
-                    debug_assert!(d > k, "live non-frontier vertices sit above the round");
+                    let d = prio[u].load(Ordering::Relaxed);
+                    debug_assert!(d > k, "live non-frontier elements sit above the round");
                     let nd = d.saturating_sub(c).max(k);
-                    deg[u].store(nd, Ordering::Relaxed);
+                    prio[u].store(nd, Ordering::Relaxed);
                     if nd == k {
                         Some(u as u32)
                     } else {
@@ -111,29 +156,35 @@ pub(crate) fn run(config: &Config, off: Offline, g: &CsrGraph, stats: &mut RunSt
         }
         k += 1;
     }
-    coreness.into_iter().map(AtomicU32::into_inner).collect()
+    settled.into_iter().map(AtomicU32::into_inner).collect()
 }
 
-/// Membership of the `k`-core by offline **range** peeling: one bulk
-/// extraction of every vertex below `k`, then histogram cascades until
-/// a fixpoint. No round ordering — removal order does not affect the
-/// fixpoint — so the whole sub-`k` range peels as one wave, which is
-/// why this is far cheaper than a full decomposition for one query.
-pub(crate) fn kcore_membership(g: &CsrGraph, k: u32, off: Offline) -> Vec<bool> {
-    let n = g.num_vertices();
+/// Membership of the priority-`k` core by offline **range** peeling:
+/// one bulk extraction of every element below `k`, then histogram
+/// cascades until a fixpoint. No round ordering — removal order does
+/// not affect the fixpoint — so the whole sub-`k` range peels as one
+/// wave, which is why this is far cheaper than a full decomposition for
+/// one query. Unit incidences only (the query is "degree at least `k`
+/// within the surviving set").
+pub(crate) fn range_membership(
+    inc: &dyn UnitIncidence,
+    init_priorities: &[u32],
+    k: u32,
+    off: Offline,
+) -> Vec<bool> {
+    let n = init_priorities.len();
     if n == 0 {
         return Vec::new();
     }
-    let init_degrees = g.degrees();
-    let deg: Vec<AtomicU32> = init_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
-    // Reuse the coreness array as the peeled marker (0 = peeled).
+    let prio: Vec<AtomicU32> = init_priorities.iter().map(|&d| AtomicU32::new(d)).collect();
+    // Reuse the settle array as the peeled marker (0 = peeled).
     let peeled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
-    let mut bucket = SingleBucket::new(&init_degrees);
-    let view = LiveView { deg: &deg, coreness: &peeled };
+    let mut bucket = SingleBucket::new(init_priorities);
+    let view = LiveView { prio: &prio, settled: &peeled };
     let mut frontier = bucket.next_frontier_range(0, k, &view);
     while !frontier.is_empty() {
         frontier.par_iter().for_each(|&v| peeled[v as usize].store(0, Ordering::Relaxed));
-        let gathered = gather_live(g, &frontier, &peeled);
+        let gathered = gather_live(inc, &frontier, &peeled);
         let hist = run_histogram(off.histogram, gathered, n);
         frontier = hist
             .par_iter()
@@ -142,11 +193,11 @@ pub(crate) fn kcore_membership(g: &CsrGraph, k: u32, off: Offline) -> Vec<bool> 
                 if peeled[u].load(Ordering::Relaxed) != UNSET {
                     return None;
                 }
-                let d = deg[u].load(Ordering::Relaxed);
+                let d = prio[u].load(Ordering::Relaxed);
                 let nd = d.saturating_sub(c);
-                deg[u].store(nd, Ordering::Relaxed);
+                prio[u].store(nd, Ordering::Relaxed);
                 // Only the crossing below k enters the frontier, so each
-                // vertex cascades at most once.
+                // element cascades at most once.
                 (d >= k && nd < k).then_some(u as u32)
             })
             .collect();
@@ -154,24 +205,50 @@ pub(crate) fn kcore_membership(g: &CsrGraph, k: u32, off: Offline) -> Vec<bool> 
     peeled.iter().map(|m| m.load(Ordering::Relaxed) == UNSET).collect()
 }
 
-/// Every still-live neighbor of the frontier, with duplicates — the
-/// list `L` of Julienne's `Peel`. The settle phase completed before
+/// Every still-live incident element of the frontier, with duplicates —
+/// the list `L` of Julienne's `Peel`. The settle phase completed before
 /// this runs, so liveness reads are stable and the result is
 /// deterministic.
-fn gather_live(g: &CsrGraph, frontier: &[u32], coreness: &[AtomicU32]) -> Vec<u32> {
-    let per_vertex: Vec<Vec<u32>> = frontier
+fn gather_live(inc: &dyn UnitIncidence, frontier: &[u32], settled: &[AtomicU32]) -> Vec<u32> {
+    let per_elem: Vec<Vec<u32>> = frontier
         .par_iter()
         .map(|&v| {
-            g.neighbors(v)
+            inc.incident(v)
                 .iter()
                 .copied()
-                .filter(|&u| coreness[u as usize].load(Ordering::Relaxed) == UNSET)
+                .filter(|&u| settled[u as usize].load(Ordering::Relaxed) == UNSET)
                 .collect()
         })
         .collect();
-    let total = per_vertex.iter().map(Vec::len).sum();
+    flatten(per_elem)
+}
+
+/// The decrement targets a snapshot rule emits for the settled
+/// frontier, with duplicates. The settle phase (including stamps)
+/// completed first, so the rule sees the same consistent snapshot as in
+/// the online two-phase driver and the gathered multiset is
+/// deterministic.
+fn gather_rule(
+    rule: &dyn SnapshotRule,
+    frontier: &[u32],
+    k: u32,
+    view: &SettleView<'_>,
+) -> Vec<u32> {
+    let per_elem: Vec<Vec<u32>> = frontier
+        .par_iter()
+        .map(|&e| {
+            let mut out = Vec::new();
+            rule.for_each_decrement(e, k, view, &mut |t| out.push(t));
+            out
+        })
+        .collect();
+    flatten(per_elem)
+}
+
+fn flatten(parts: Vec<Vec<u32>>) -> Vec<u32> {
+    let total = parts.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
-    for part in per_vertex {
+    for part in parts {
         out.extend(part);
     }
     out
@@ -192,7 +269,7 @@ mod tests {
     use crate::bz::bz_coreness;
     use crate::config::Techniques;
     use crate::{Config, KCore};
-    use kcore_graph::gen;
+    use kcore_graph::{gen, CsrGraph};
 
     fn offline_config(kind: HistogramKind) -> Config {
         Config::with_techniques(Techniques {
@@ -223,9 +300,9 @@ mod tests {
     #[test]
     fn membership_of_trivial_cores() {
         let g = gen::path(10);
-        let members = kcore_membership(&g, 0, Offline::default());
+        let members = range_membership(&g, &g.degrees(), 0, Offline::default());
         assert!(members.iter().all(|&m| m), "the 0-core is everything");
-        let members = kcore_membership(&g, 2, Offline::default());
+        let members = range_membership(&g, &g.degrees(), 2, Offline::default());
         assert!(members.iter().all(|&m| !m), "a path has no 2-core");
     }
 
@@ -239,7 +316,7 @@ mod tests {
         edges.push((21, 22));
         edges.push((22, 20));
         let g = kcore_graph::GraphBuilder::new(23).edges(edges).build();
-        let members = kcore_membership(&g, 2, Offline::default());
+        let members = range_membership(&g, &g.degrees(), 2, Offline::default());
         for (v, &member) in members.iter().enumerate() {
             assert_eq!(member, v >= 20, "vertex {v}: only the triangle is in the 2-core");
         }
@@ -247,6 +324,7 @@ mod tests {
 
     #[test]
     fn empty_graph_membership() {
-        assert!(kcore_membership(&CsrGraph::empty(), 3, Offline::default()).is_empty());
+        let g = CsrGraph::empty();
+        assert!(range_membership(&g, &g.degrees(), 3, Offline::default()).is_empty());
     }
 }

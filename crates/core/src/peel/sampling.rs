@@ -1,127 +1,173 @@
 //! The sampling scheme (paper Sec. 4.1).
 //!
-//! Peeling a high-degree vertex's neighborhood funnels thousands of
-//! atomic decrements into one cache line — the contention hotspot the
-//! paper measures in Sec. 4.1.5. The sampling scheme removes it: a
-//! vertex whose initial degree reaches the configured threshold enters
-//! **sample mode** and stops maintaining an exact induced degree.
-//! Instead it tracks the number of *sampled* live incident edges, where
-//! each edge is in the sample with probability `2^-r`, decided by a
-//! deterministic endpoint hash. A removal then touches the shared
-//! counter only for sampled edges — a `2^r`-fold contention reduction —
-//! with a clamped (floor-0) atomic decrement.
+//! Peeling a high-priority element's incidence list funnels thousands
+//! of atomic decrements into one cache line — the contention hotspot
+//! the paper measures in Sec. 4.1.5. The sampling scheme removes it: an
+//! element whose initial priority reaches the configured threshold
+//! enters **sample mode** and stops maintaining an exact priority.
+//! Instead it tracks the number of *sampled* live incident elements,
+//! where each incidence is in the sample with probability `2^-r`,
+//! decided by a deterministic endpoint hash. A removal then touches the
+//! shared counter only for sampled incidences — a `2^r`-fold contention
+//! reduction — with a clamped (floor-0) atomic decrement.
+//!
+//! The scheme applies to [`crate::Incidence::Unit`] problems (each dead
+//! incident element costs one unit, so the sampled counter estimates
+//! the live priority); the engine gates it off for snapshot rules. For
+//! k-core the "incidences" are exactly the graph's edges, matching the
+//! paper's presentation.
 //!
 //! Exactness is restored at the decision points, all of which re-count
-//! the true induced degree ([`kcore_parallel::RunStats::resamples`]):
+//! the true priority ([`kcore_parallel::RunStats::resamples`]):
 //!
 //! * **Trigger recounts** fire inside a subround when the sampled
-//!   counter crosses the trigger watermark (≈ the round scaled by the
-//!   sampling rate, plus slack). A recount at `<= k` means the vertex
-//!   belongs to the current round: it is claimed and joins the next
-//!   subround through the hash bag. A recount above `k` refreshes the
-//!   stored degree (monotonically decreasing) and re-files the vertex
-//!   in the bucket structure.
-//! * **End-of-round validation** re-counts sample-mode vertices when a
+//!   counter crosses the trigger watermark (see below). A recount at
+//!   `<= k` means the element belongs to the current round: it is
+//!   claimed and joins the next subround through the hash bag. A
+//!   recount above `k` refreshes the stored priority (monotonically
+//!   decreasing) and re-files the element in the bucket structure.
+//! * **End-of-round validation** re-counts sample-mode elements when a
 //!   round's frontier drains — every live one under
 //!   [`Validation::Full`] (deterministically exact, the default), or
 //!   only those under the validation watermark for the paper-faithful
 //!   [`Validation::Watermark`] fast path
 //!   ([`kcore_parallel::RunStats::validate_calls`]).
-//! * **Frontier validation** re-counts sample-mode vertices surfacing
-//!   in a round's initial frontier. Their stored degree is always an
+//! * **Frontier validation** re-counts sample-mode elements surfacing
+//!   in a round's initial frontier. Their stored priority is always an
 //!   upper bound on the truth, so a recount *below* the round proves an
-//!   earlier round missed the vertex — the frontier is polluted, and
-//!   the driver restarts the run without sampling
+//!   earlier round missed the element — the frontier is polluted, and
+//!   the engine restarts the run without sampling
 //!   ([`kcore_parallel::RunStats::restarts`]; a Las-Vegas recovery that
-//!   watermark slack makes vanishingly rare, and full validation makes
-//!   impossible).
+//!   the watermark deviation term makes vanishingly rare, and full
+//!   validation makes impossible).
 //!
-//! A sample-mode vertex is therefore **never peeled on approximate
+//! A sample-mode element is therefore **never peeled on approximate
 //! evidence** — every settle is preceded by an exact recount — which is
 //! how the scheme stays oracle-identical while shedding contention.
+//!
+//! ## Watermark constants
+//!
+//! With sampling rate `2^-r`, an element of true live priority `d` has
+//! a sampled counter concentrated around `d / 2^r`. The paper's
+//! watermarks sit at the expected counter of the round boundary plus a
+//! Chernoff-style `O(√(μ log n))` deviation, which is what makes
+//! [`Validation::Watermark`] correct with high probability. We
+//! reproduce that shape exactly:
+//!
+//! * trigger: `((k+1) >> r) + ceil(√(3 · ((k+1) >> r) · log₂ n)) +
+//!   slack`,
+//! * validation: `2 ×` the trigger (the extra factor covers trigger
+//!   crossings that were skipped because the watermark moves up as `k`
+//!   grows).
+//!
+//! **Delta from the paper:** earlier revisions of this module replaced
+//! the deviation term with the flat additive [`Sampling::slack`] alone
+//! (trigger `((k+1) >> r) + slack`, validation `2×`), which made the
+//! failure probability depend on the configured slack rather than on
+//! `n`. The Chernoff deviation is now computed per round as above;
+//! `slack` is retained on top as a tunable safety floor (default 32,
+//! set it to 0 to run the bare paper constants). The paper also keeps
+//! sampled counters in per-thread shards before they hit the shared
+//! counter; we take the hit on the shared atomic directly, which only
+//! strengthens the concentration argument (no shard staleness).
 
-use super::{OnlineCtx, Polluted, UNSET};
+use super::engine::{OnlineCtx, PeelProblem, Polluted, UnitIncidence, UNSET};
 use crate::config::{Sampling, Validation};
 use kcore_buckets::BucketStructure;
-use kcore_graph::CsrGraph;
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::TechniqueCounters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 
-/// Vertex tracks its exact induced degree (the plain Alg. 1 path).
+/// Element tracks its exact priority (the plain Alg. 1 path).
 const EXACT: u8 = 0;
-/// Vertex tracks the sampled-edge counter; `deg` holds the last exact
-/// recount (an upper bound on the live degree).
+/// Element tracks the sampled counter; the stored priority holds the
+/// last exact recount (an upper bound on the live value).
 const SAMPLED: u8 = 1;
-/// A worker holds the vertex's recount token.
+/// A worker holds the element's recount token.
 const RECOUNT: u8 = 2;
-/// An exact recount confirmed the vertex peels in the current round; it
-/// sits in the frontier or hash bag and takes no further recounts.
+/// An exact recount confirmed the element peels in the current round;
+/// it sits in the frontier or hash bag and takes no further recounts.
 const CLAIMED: u8 = 3;
 
 /// Per-run state of the sampling scheme.
 pub(crate) struct SamplingState {
     cfg: Sampling,
-    /// `2^rate_log2 - 1`: an edge is sampled iff its hash ANDs to zero.
+    /// `2^rate_log2 - 1`: an incidence is sampled iff its hash ANDs to
+    /// zero.
     mask: u64,
-    /// Per-vertex mode (see the `EXACT` … `CLAIMED` constants).
+    /// `ceil(log2 n)` of the element universe — the deviation term's
+    /// `log n` factor.
+    log2_n: u32,
+    /// Per-element mode (see the `EXACT` … `CLAIMED` constants).
     state: Vec<AtomicU8>,
-    /// Sampled live incident edges per vertex (sample-mode only).
+    /// Sampled live incidences per element (sample-mode only).
     approx: Vec<AtomicU32>,
-    /// Vertices that entered sample mode, pruned of dead entries at
+    /// Elements that entered sample mode, pruned of dead entries at
     /// each end-of-round validation.
     sampled: Vec<u32>,
 }
 
 impl SamplingState {
-    /// Builds sample-mode state for every vertex whose initial degree
-    /// reaches the threshold; `None` when no vertex qualifies (the run
-    /// then skips the sampling hooks entirely).
-    pub(crate) fn build(g: &CsrGraph, init_degrees: &[u32], cfg: Sampling) -> Option<Self> {
-        let n = init_degrees.len();
-        let sampled = pack_index(n, |v| init_degrees[v] >= cfg.threshold);
+    /// Builds sample-mode state for every element whose initial
+    /// priority reaches the threshold; `None` when no element qualifies
+    /// (the run then skips the sampling hooks entirely).
+    pub(crate) fn build(
+        inc: &dyn UnitIncidence,
+        init_priorities: &[u32],
+        cfg: Sampling,
+    ) -> Option<Self> {
+        let n = init_priorities.len();
+        let sampled = pack_index(n, |v| init_priorities[v] >= cfg.threshold);
         if sampled.is_empty() {
             return None;
         }
         let mask = (1u64 << cfg.rate_log2) - 1;
-        let state: Vec<AtomicU8> = init_degrees
+        let log2_n = (usize::BITS - n.max(2).next_power_of_two().leading_zeros() - 1).max(1);
+        let state: Vec<AtomicU8> = init_priorities
             .iter()
             .map(|&d| AtomicU8::new(if d >= cfg.threshold { SAMPLED } else { EXACT }))
             .collect();
         let approx: Vec<AtomicU32> = (0..n as u32)
             .into_par_iter()
             .map(|v| {
-                let count = if init_degrees[v as usize] >= cfg.threshold {
-                    g.neighbors(v).iter().filter(|&&u| edge_sampled(v, u, cfg.seed, mask)).count()
+                let count = if init_priorities[v as usize] >= cfg.threshold {
+                    inc.incident(v).iter().filter(|&&u| edge_sampled(v, u, cfg.seed, mask)).count()
                 } else {
                     0
                 };
                 AtomicU32::new(count as u32)
             })
             .collect();
-        Some(Self { cfg, mask, state, approx, sampled })
+        Some(Self { cfg, mask, log2_n, state, approx, sampled })
     }
 
-    /// Number of vertices that entered sample mode.
+    /// Number of elements that entered sample mode.
     pub(crate) fn num_sampled(&self) -> usize {
         self.sampled.len()
     }
 
     /// Whether removals targeting `u` take the sampled path. `RECOUNT`
-    /// and `CLAIMED` count as sampled: their exact degree is never
+    /// and `CLAIMED` count as sampled: their exact priority is never
     /// maintained, so the exact decrement path must not touch them.
     #[inline]
     pub(crate) fn in_sample_mode(&self, u: u32) -> bool {
         self.state[u as usize].load(Ordering::Relaxed) != EXACT
     }
 
-    /// Processes the removal of edge `(src, u)` for a sample-mode `u`:
-    /// decrement the sampled counter if the edge is in the sample, and
-    /// recount exactly when the counter crosses the trigger watermark
-    /// (or bottoms out — past zero the approximation carries no signal).
+    /// Processes the removal of incidence `(src, u)` for a sample-mode
+    /// `u`: decrement the sampled counter if the incidence is in the
+    /// sample, and recount exactly when the counter crosses the trigger
+    /// watermark (or bottoms out — past zero the approximation carries
+    /// no signal).
     #[inline]
-    pub(crate) fn on_neighbor_removed(&self, src: u32, u: u32, k: u32, ctx: &OnlineCtx<'_>) {
+    pub(crate) fn on_neighbor_removed<P: PeelProblem>(
+        &self,
+        src: u32,
+        u: u32,
+        k: u32,
+        ctx: &OnlineCtx<'_, P>,
+    ) {
         if !edge_sampled(src, u, self.cfg.seed, self.mask) {
             return;
         }
@@ -144,27 +190,28 @@ impl SamplingState {
         }
     }
 
-    /// Claims the recount token for `u` and re-counts exactly, mid-round.
-    fn recount_in_round(&self, u: u32, k: u32, ctx: &OnlineCtx<'_>) {
+    /// Claims the recount token for `u` and re-counts exactly,
+    /// mid-round.
+    fn recount_in_round<P: PeelProblem>(&self, u: u32, k: u32, ctx: &OnlineCtx<'_, P>) {
         if self.state[u as usize]
             .compare_exchange(SAMPLED, RECOUNT, Ordering::Relaxed, Ordering::Relaxed)
             .is_err()
         {
-            // Someone else is recounting, or the vertex is already
+            // Someone else is recounting, or the element is already
             // claimed for this round.
             return;
         }
         ctx.counters.resamples.fetch_add(1, Ordering::Relaxed);
-        let (exact, fresh) = self.count_exact(u, ctx.g, ctx.coreness);
+        let (exact, fresh) = self.count_exact(u, ctx.inc, ctx.settled);
         if exact <= k {
-            // The round-start invariant puts the degree at >= k when the
-            // round opened, so the drop to <= k happened during this
-            // round: the coreness is k. Claim before inserting so no
+            // The round-start invariant puts the priority at >= k when
+            // the round opened, so the drop to <= k happened during this
+            // round: the settle round is k. Claim before inserting so no
             // second recount (or a stale bucket copy) can double-peel.
             ctx.bag.insert(u);
             self.state[u as usize].store(CLAIMED, Ordering::Relaxed);
         } else {
-            if let Some(old) = store_decreased(&ctx.deg[u as usize], exact) {
+            if let Some(old) = store_decreased(&ctx.prio[u as usize], exact) {
                 self.approx[u as usize].store(fresh, Ordering::Relaxed);
                 ctx.bucket.on_decrease(u, old, exact, k);
             }
@@ -172,33 +219,33 @@ impl SamplingState {
         }
     }
 
-    /// Confirms every sample-mode vertex in a round's initial frontier
+    /// Confirms every sample-mode element in a round's initial frontier
     /// by exact recount. Runs in the sequential gap between rounds, so
-    /// the counts are exact truths: a vertex below the round proves the
-    /// frontier polluted (an earlier round missed it) and aborts the
-    /// attempt.
+    /// the counts are exact truths: an element below the round proves
+    /// the frontier polluted (an earlier round missed it) and aborts
+    /// the attempt.
     pub(crate) fn validate_frontier(
         &self,
         frontier: &[u32],
         k: u32,
-        g: &CsrGraph,
-        coreness: &[AtomicU32],
+        inc: &dyn UnitIncidence,
+        settled: &[AtomicU32],
         counters: &TechniqueCounters,
     ) -> Result<(), Polluted> {
         let polluted = AtomicBool::new(false);
         frontier.par_iter().for_each(|&v| {
             let state = self.state[v as usize].load(Ordering::Relaxed);
-            debug_assert_ne!(state, CLAIMED, "claimed vertices settle within their round");
+            debug_assert_ne!(state, CLAIMED, "claimed elements settle within their round");
             if state != SAMPLED {
                 return;
             }
             counters.resamples.fetch_add(1, Ordering::Relaxed);
-            let (exact, _) = self.count_exact(v, g, coreness);
+            let (exact, _) = self.count_exact(v, inc, settled);
             if exact < k {
                 polluted.store(true, Ordering::Relaxed);
             } else {
-                // The stored degree (== k, or the bucket would not have
-                // surfaced v) upper-bounds the truth, so exact == k.
+                // The stored priority (== k, or the bucket would not
+                // have surfaced v) upper-bounds the truth, so exact == k.
                 debug_assert_eq!(exact, k);
                 self.state[v as usize].store(CLAIMED, Ordering::Relaxed);
             }
@@ -211,20 +258,20 @@ impl SamplingState {
     }
 
     /// End-of-round validation: exactly re-counts live sample-mode
-    /// vertices (all of them under [`Validation::Full`], those under the
-    /// validation watermark otherwise) and returns the ones whose true
-    /// degree already reached `k` — they re-open the round. Runs in the
-    /// sequential gap, so counts are exact.
+    /// elements (all of them under [`Validation::Full`], those under
+    /// the validation watermark otherwise) and returns the ones whose
+    /// true priority already reached `k` — they re-open the round. Runs
+    /// in the sequential gap, so counts are exact.
     pub(crate) fn validate_round_end(
         &mut self,
         k: u32,
-        g: &CsrGraph,
-        deg: &[AtomicU32],
-        coreness: &[AtomicU32],
+        inc: &dyn UnitIncidence,
+        prio: &[AtomicU32],
+        settled: &[AtomicU32],
         bucket: &dyn BucketStructure,
         counters: &TechniqueCounters,
     ) -> Vec<u32> {
-        self.sampled.retain(|&v| coreness[v as usize].load(Ordering::Relaxed) == UNSET);
+        self.sampled.retain(|&v| settled[v as usize].load(Ordering::Relaxed) == UNSET);
         let full = self.cfg.validation == Validation::Full;
         let vwm = self.validation_watermark(k);
         let this = &*self;
@@ -239,12 +286,12 @@ impl SamplingState {
                 }
                 counters.validate_calls.fetch_add(1, Ordering::Relaxed);
                 counters.resamples.fetch_add(1, Ordering::Relaxed);
-                let (exact, fresh) = this.count_exact(v, g, coreness);
+                let (exact, fresh) = this.count_exact(v, inc, settled);
                 if exact <= k {
                     this.state[v as usize].store(CLAIMED, Ordering::Relaxed);
                     Some(v)
                 } else {
-                    if let Some(old) = store_decreased(&deg[v as usize], exact) {
+                    if let Some(old) = store_decreased(&prio[v as usize], exact) {
                         this.approx[v as usize].store(fresh, Ordering::Relaxed);
                         bucket.on_decrease(v, old, exact, k);
                     }
@@ -254,16 +301,17 @@ impl SamplingState {
             .collect()
     }
 
-    /// Exact live-neighbor count of `v`, plus the count restricted to
-    /// sampled edges (the refreshed approximation). During a subround a
-    /// concurrent settle can be missed — counted as still alive — so the
-    /// result only ever *over*states the truth, which keeps the stored
-    /// degree an upper bound; in the sequential gaps it is exact.
-    fn count_exact(&self, v: u32, g: &CsrGraph, coreness: &[AtomicU32]) -> (u32, u32) {
+    /// Exact live-incidence count of `v`, plus the count restricted to
+    /// sampled incidences (the refreshed approximation). During a
+    /// subround a concurrent settle can be missed — counted as still
+    /// alive — so the result only ever *over*states the truth, which
+    /// keeps the stored priority an upper bound; in the sequential gaps
+    /// it is exact.
+    fn count_exact(&self, v: u32, inc: &dyn UnitIncidence, settled: &[AtomicU32]) -> (u32, u32) {
         let mut exact = 0u32;
         let mut fresh = 0u32;
-        for &w in g.neighbors(v) {
-            if coreness[w as usize].load(Ordering::Relaxed) == UNSET {
+        for &w in inc.incident(v) {
+            if settled[w as usize].load(Ordering::Relaxed) == UNSET {
                 exact += 1;
                 if edge_sampled(v, w, self.cfg.seed, self.mask) {
                     fresh += 1;
@@ -274,31 +322,45 @@ impl SamplingState {
     }
 
     /// Sampled-counter level at which a mid-round removal triggers a
-    /// recount: the round boundary scaled by the sampling rate, plus
-    /// slack.
+    /// recount: the expected counter at the round boundary, plus the
+    /// Chernoff deviation term, plus the configured flat slack (see the
+    /// module docs for the delta discussion).
     fn trigger_watermark(&self, k: u32) -> u32 {
-        ((k + 1) >> self.cfg.rate_log2) + self.cfg.slack
+        let base = (k + 1) >> self.cfg.rate_log2;
+        base + deviation(base, self.log2_n) + self.cfg.slack
     }
 
-    /// More generous end-of-round bound: catches vertices whose trigger
+    /// More generous end-of-round bound: catches elements whose trigger
     /// crossing was skipped (the watermark moves up as `k` grows).
     fn validation_watermark(&self, k: u32) -> u32 {
         self.trigger_watermark(k) * 2
     }
 }
 
-/// Monotonically-decreasing store of a recounted degree, returning the
-/// replaced value. The guard keeps bucket notifications distinct (each
-/// stored value is strictly smaller than the last) and the stored value
-/// an upper bound.
+/// Chernoff deviation `ceil(√(3 · base · log₂ n))`: a counter with mean
+/// `base` stays within this of its mean with probability `1 - n^-Ω(1)`.
+fn deviation(base: u32, log2_n: u32) -> u32 {
+    ceil_sqrt(3 * base as u64 * log2_n as u64)
+}
+
+/// `ceil(√x)` over integers (no float rounding surprises).
+fn ceil_sqrt(x: u64) -> u32 {
+    let s = x.isqrt();
+    (s + u64::from(s * s < x)) as u32
+}
+
+/// Monotonically-decreasing store of a recounted priority, returning
+/// the replaced value. The guard keeps bucket notifications distinct
+/// (each stored value is strictly smaller than the last) and the stored
+/// value an upper bound.
 fn store_decreased(slot: &AtomicU32, exact: u32) -> Option<u32> {
     slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| (exact < d).then_some(exact)).ok()
 }
 
-/// Whether edge `{a, b}` is in the sample: a SplitMix64-style mix of the
-/// sorted endpoint pair and the seed, accepted when the low `rate_log2`
-/// bits clear. Deterministic, so the init count and every removal agree
-/// on the sample without storing it.
+/// Whether incidence `{a, b}` is in the sample: a SplitMix64-style mix
+/// of the sorted id pair and the seed, accepted when the low
+/// `rate_log2` bits clear. Deterministic, so the init count and every
+/// removal agree on the sample without storing it.
 #[inline]
 fn edge_sampled(a: u32, b: u32, seed: u64, mask: u64) -> bool {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
@@ -370,13 +432,46 @@ mod tests {
     }
 
     #[test]
-    fn watermarks_scale_with_round_and_slack() {
-        let g = gen::star(40);
+    fn ceil_sqrt_is_exact() {
+        assert_eq!(ceil_sqrt(0), 0);
+        assert_eq!(ceil_sqrt(1), 1);
+        assert_eq!(ceil_sqrt(2), 2);
+        assert_eq!(ceil_sqrt(4), 2);
+        assert_eq!(ceil_sqrt(5), 3);
+        assert_eq!(ceil_sqrt(36), 6);
+        assert_eq!(ceil_sqrt(37), 7);
+        for x in 0..2000u64 {
+            let s = ceil_sqrt(x) as u64;
+            assert!(s * s >= x && (s == 0 || (s - 1) * (s - 1) < x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn watermarks_scale_with_round_deviation_and_slack() {
+        let g = gen::star(40); // n = 40 -> log2_n = 6
         let degrees = g.degrees();
         let cfg = Sampling { rate_log2: 2, slack: 5, ..Sampling::with_threshold(10) };
         let s = SamplingState::build(&g, &degrees, cfg).unwrap();
+        assert_eq!(s.log2_n, 6);
+        // Round 0: base = 1 >> 2 = 0, so no deviation term — only slack.
         assert_eq!(s.trigger_watermark(0), 5);
-        assert_eq!(s.trigger_watermark(7), 2 + 5);
-        assert_eq!(s.validation_watermark(7), (2 + 5) * 2);
+        // Round 7: base = 8 >> 2 = 2, deviation = ceil(sqrt(3*2*6)) = 6.
+        assert_eq!(s.trigger_watermark(7), 2 + 6 + 5);
+        assert_eq!(s.validation_watermark(7), (2 + 6 + 5) * 2);
+    }
+
+    #[test]
+    fn zero_slack_zero_base_recovers_bare_constants() {
+        // With slack 0 and a coarse rate, small rounds have base 0 and
+        // therefore no deviation term either: the trigger sits at 0 and
+        // only the bottom-out recount fires — the configuration the
+        // restart stress test relies on to actually produce pollution.
+        let g = gen::star(40);
+        let degrees = g.degrees();
+        let cfg = Sampling { rate_log2: 3, slack: 0, ..Sampling::with_threshold(10) };
+        let s = SamplingState::build(&g, &degrees, cfg).unwrap();
+        assert_eq!(s.trigger_watermark(0), 0);
+        assert_eq!(s.trigger_watermark(6), 0);
+        assert!(s.trigger_watermark(15) >= 2, "base 2 brings the deviation with it");
     }
 }

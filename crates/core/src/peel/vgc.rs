@@ -1,60 +1,58 @@
-//! Vertical granularity control (paper Sec. 4.2).
+//! Vertical granularity control (paper Sec. 4.2) and the fused
+//! settle-and-decrement hot path of the unit-incidence driver.
 //!
-//! On sparse graphs most subrounds move a handful of vertices: the
+//! On sparse inputs most subrounds move a handful of elements: the
 //! global synchronization between subrounds (burden ω in the span
 //! model) dwarfs the peeling itself, and the round dissolves into a
 //! long chain of tiny fork–joins. VGC collapses them *vertically*: when
-//! a worker's clamped decrement moves a neighbor down to the current
-//! round, the worker keeps going — it settles that neighbor immediately
-//! and expands it in the same task, chasing the local peel chain
-//! sequentially instead of bouncing each hop through the hash bag.
+//! a worker's clamped decrement moves an incident element down to the
+//! current round, the worker keeps going — it settles that element
+//! immediately and expands it in the same task, chasing the local peel
+//! chain sequentially instead of bouncing each hop through the hash
+//! bag.
 //!
 //! The chase is bounded by [`crate::Vgc::chain_limit`]: past the bound,
-//! discovered vertices spill to the hash bag and the next subround
+//! discovered elements spill to the hash bag and the next subround
 //! picks them up, so one worker can never serialize more than `L`
 //! settles. The subround's longest chase is the `chain` term of the
 //! burdened span (`Õ(ρ′(ω + L))`, Tab. 2) and feeds
 //! [`kcore_parallel::RunStats::peak_chain`].
 //!
 //! Correctness is unchanged from Alg. 1: the clamped decrement already
-//! guarantees a unique thread moves each vertex to `k`, and that thread
-//! peeling it immediately (instead of a later subround) only reorders
-//! work within the round — coreness at round `k` is `k` either way.
+//! guarantees a unique thread moves each element to `k`, and that
+//! thread peeling it immediately (instead of a later subround) only
+//! reorders work within the round — the settle round at round `k` is
+//! `k` either way. This is exactly why the fused driver is restricted
+//! to [`crate::Incidence::Unit`] problems: unit decrements over static
+//! lists commute, so no settle barrier is needed.
 
-use super::OnlineCtx;
+use super::engine::{clamped_decrement, OnlineCtx, PeelProblem};
 use std::sync::atomic::Ordering;
 
-/// Settles `v` at coreness `k`, processes its removals, and — with VGC
+/// Settles `v` at round `k`, processes its removals, and — with VGC
 /// enabled (`ctx.chain_limit > 0`) — chases the local peel chain up to
 /// the chain bound. The plain framework is the `chain_limit == 0` case:
-/// every discovered vertex goes straight to the hash bag.
-pub(crate) fn peel_from(ctx: &OnlineCtx<'_>, v: u32, k: u32) {
+/// every discovered element goes straight to the hash bag.
+pub(crate) fn peel_from<P: PeelProblem>(ctx: &OnlineCtx<'_, P>, v: u32, k: u32) {
     let mut pending: Vec<u32> = Vec::new();
     let mut chased = 0u64;
     let mut chased_work = 0u64;
     let limit = ctx.chain_limit as u64;
     let mut cur = v;
     loop {
-        ctx.coreness[cur as usize].store(k, Ordering::Relaxed);
-        for &u in ctx.g.neighbors(cur) {
+        ctx.settled[cur as usize].store(k, Ordering::Relaxed);
+        ctx.problem.on_settle(cur, k);
+        for &u in ctx.inc.incident(cur) {
             if let Some(s) = ctx.sampling {
                 if s.in_sample_mode(u) {
                     s.on_neighbor_removed(cur, u, k, ctx);
                     continue;
                 }
             }
-            // Clamped decrement: only while above k. Dead vertices
+            // Clamped decrement: only while above k. Dead elements
             // already sit at their (lower) peel round, so the guard
             // also excludes them.
-            let prev =
-                ctx.deg[u as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-                    if d > k {
-                        Some(d - 1)
-                    } else {
-                        None
-                    }
-                });
-            if let Ok(prev) = prev {
+            if let Some(prev) = clamped_decrement(&ctx.prio[u as usize], k) {
                 if prev == k + 1 {
                     // This thread moved u to k: u is peeled exactly
                     // once — chased locally under VGC, else via the bag.
@@ -71,7 +69,7 @@ pub(crate) fn peel_from(ctx: &OnlineCtx<'_>, v: u32, k: u32) {
         match pending.pop() {
             Some(next) if chased < limit => {
                 chased += 1;
-                chased_work += 1 + ctx.g.degree(next) as u64;
+                chased_work += 1 + ctx.inc.incident(next).len() as u64;
                 cur = next;
             }
             Some(next) => {

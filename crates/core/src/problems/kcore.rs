@@ -1,0 +1,393 @@
+//! k-core decomposition as a [`PeelProblem`] — the engine's first and
+//! reference client.
+//!
+//! Elements are vertices, the initial priority is the degree, and the
+//! incidence relation is the graph's adjacency under unit decrements
+//! ([`Incidence::Unit`]): every settled neighbor costs one degree unit,
+//! which is precisely the paper's Alg. 1. The settle round of a vertex
+//! *is* its coreness, so `assemble` is the identity wrap into
+//! [`CorenessResult`]. Every Sec. 4 technique applies: sampling (vertex
+//! degrees over edges), VGC chains, and the offline histogram driver.
+
+use crate::config::PeelMode;
+use crate::peel::engine::{Incidence, PeelEngine, PeelProblem};
+use crate::peel::offline;
+use crate::{Config, CorenessResult};
+use kcore_graph::CsrGraph;
+use kcore_parallel::RunStats;
+
+/// The k-core decomposition problem over one graph.
+pub(crate) struct KCoreProblem<'g> {
+    pub(crate) g: &'g CsrGraph,
+}
+
+impl PeelProblem for KCoreProblem<'_> {
+    type Output = CorenessResult;
+
+    fn name(&self) -> &'static str {
+        "k-core"
+    }
+
+    fn num_elements(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn init_priorities(&self) -> Vec<u32> {
+        self.g.degrees()
+    }
+
+    fn incidence(&self) -> Incidence<'_> {
+        Incidence::Unit(self.g)
+    }
+
+    fn assemble(&self, rounds: Vec<u32>, stats: RunStats) -> CorenessResult {
+        CorenessResult::new(rounds, stats)
+    }
+}
+
+/// The parallel k-core decomposition framework.
+#[derive(Debug, Clone, Default)]
+pub struct KCore {
+    config: Config,
+}
+
+impl KCore {
+    /// Creates the framework with the given configuration, after
+    /// applying the `KCORE_TECHNIQUES` environment override (see
+    /// [`Config::apply_env_overrides`]).
+    pub fn new(config: Config) -> Self {
+        Self { config: config.apply_env_overrides() }
+    }
+
+    /// Creates the framework with `config` exactly as given, bypassing
+    /// the `KCORE_TECHNIQUES` environment override. For callers (and
+    /// tests) that assert technique-specific behavior; prefer
+    /// [`KCore::new`] everywhere else so CI's forced-techniques matrix
+    /// reaches your code path.
+    pub fn with_exact_config(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Decomposes `g`, returning every vertex's coreness.
+    ///
+    /// [`RunStats`] describe the successful attempt;
+    /// [`RunStats::restarts`] additionally counts aborted sampling
+    /// attempts (expected 0 — see [`crate::Sampling`]).
+    pub fn run(&self, g: &CsrGraph) -> CorenessResult {
+        PeelEngine::new(&KCoreProblem { g }, self.config).run()
+    }
+
+    /// Membership of the `k`-core (`true` = vertex has coreness `>= k`),
+    /// computed directly by offline range peeling: every vertex of
+    /// degree below `k` is extracted in one bulk range step and the
+    /// cascade is driven by histogram decrements. Much cheaper than a
+    /// full decomposition when only one core is needed (the serving
+    /// path for "give me the k-core" queries).
+    pub fn kcore_members(&self, g: &CsrGraph, k: u32) -> Vec<bool> {
+        let off = match self.config.techniques.mode {
+            PeelMode::Offline(off) => off,
+            PeelMode::Online => crate::config::Offline::default(),
+        };
+        offline::range_membership(g, &g.degrees(), k, off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz::bz_coreness;
+    use crate::config::{PeelMode, Sampling, Techniques, Validation, Vgc};
+    use kcore_buckets::BucketStrategy;
+    use kcore_graph::{gen, GraphBuilder};
+    use kcore_parallel::pool::with_threads;
+
+    /// Every bucketing strategy the framework supports.
+    fn strategies() -> Vec<BucketStrategy> {
+        vec![
+            BucketStrategy::Single,
+            BucketStrategy::Fixed(16),
+            BucketStrategy::Hierarchical,
+            BucketStrategy::Adaptive,
+        ]
+    }
+
+    /// Technique variants the oracle tests sweep. Sampling uses a low
+    /// threshold so sample mode actually engages on test-sized graphs.
+    fn technique_variants() -> Vec<(Techniques, &'static str)> {
+        let sampling = Some(Sampling::with_threshold(4));
+        vec![
+            (Techniques::default(), "baseline"),
+            (Techniques { sampling, ..Techniques::default() }, "sampling"),
+            (Techniques { vgc: Some(Vgc::default()), ..Techniques::default() }, "vgc"),
+            (
+                Techniques { sampling, vgc: Some(Vgc { chain_limit: 8 }), ..Techniques::default() },
+                "sampling+vgc",
+            ),
+            (Techniques::offline(), "offline"),
+        ]
+    }
+
+    /// Asserts that every strategy × technique combination agrees with
+    /// the BZ oracle on `g`.
+    fn assert_matches_oracle(g: &CsrGraph, label: &str) {
+        let want = bz_coreness(g);
+        for strategy in strategies() {
+            for (techniques, tname) in technique_variants() {
+                let config = Config { bucket_strategy: strategy, techniques, ..Config::default() };
+                let got = KCore::new(config).run(g);
+                assert_eq!(
+                    got.coreness(),
+                    want.as_slice(),
+                    "{label}: strategy {strategy} + {tname} disagrees with BZ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = KCore::new(Config::default()).run(&CsrGraph::empty());
+        assert_eq!(r.num_vertices(), 0);
+        assert_eq!(r.kmax(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let g = GraphBuilder::new(5).build();
+        let r = KCore::new(Config::default()).run(&g);
+        assert_eq!(r.coreness(), &[0; 5]);
+        assert_eq!(r.kmax(), 0);
+    }
+
+    #[test]
+    fn structural_graphs_match_oracle() {
+        assert_matches_oracle(&gen::path(40), "path");
+        assert_matches_oracle(&gen::cycle(33), "cycle");
+        assert_matches_oracle(&gen::star(65), "star");
+        assert_matches_oracle(&gen::complete(20), "complete");
+        assert_matches_oracle(&gen::complete_bipartite(4, 9), "bipartite");
+    }
+
+    #[test]
+    fn grid_families_match_oracle() {
+        assert_matches_oracle(&gen::grid2d(24, 17), "grid2d");
+        assert_matches_oracle(&gen::grid3d(6, 7, 8), "grid3d");
+        assert_matches_oracle(&gen::mesh(15, 15), "mesh");
+        assert_matches_oracle(&gen::road(20, 20, 0.15, 0.1, 7), "road");
+    }
+
+    #[test]
+    fn random_families_match_oracle() {
+        assert_matches_oracle(&gen::erdos_renyi(300, 900, 3), "erdos_renyi");
+        assert_matches_oracle(&gen::barabasi_albert(400, 3, 11), "barabasi_albert");
+        assert_matches_oracle(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 5), "rmat");
+        assert_matches_oracle(&gen::knn(250, 4, 13), "knn");
+        assert_matches_oracle(&gen::planted_core(200, 2, 40, 9), "planted_core");
+    }
+
+    #[test]
+    fn hcns_exercises_deep_bucket_hierarchies() {
+        assert_matches_oracle(&gen::hcns(40), "hcns");
+    }
+
+    #[test]
+    fn grid_kmax_is_2() {
+        let g = gen::grid2d(100, 100);
+        let r = KCore::new(Config::default()).run(&g);
+        assert_eq!(r.kmax(), 2);
+    }
+
+    #[test]
+    fn stats_are_collected_by_default() {
+        let g = gen::grid2d(30, 30);
+        let r = KCore::new(Config::default()).run(&g);
+        let s = r.stats();
+        assert!(s.rounds >= 3, "grid peels over rounds 0..=2, got {}", s.rounds);
+        assert!(s.subrounds >= s.rounds);
+        assert!(s.work as usize >= g.num_vertices() + g.num_arcs());
+        assert!(s.max_frontier > 0);
+        assert_eq!(s.subrounds_per_round.len(), s.rounds as usize);
+    }
+
+    #[test]
+    fn stats_can_be_disabled() {
+        let g = gen::grid2d(10, 10);
+        let config = Config { collect_stats: false, ..Config::default() };
+        let r = KCore::new(config).run(&g);
+        assert_eq!(r.stats().rounds, 0);
+        assert_eq!(r.stats().work, 0);
+        // Coreness is still correct.
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+    }
+
+    #[test]
+    fn adaptive_switchover_crosses_theta() {
+        // planted_core has kmax >= 39 > θ = 16, so Adaptive upgrades to
+        // HBS mid-run; the result must be unaffected.
+        let g = gen::planted_core(300, 2, 60, 21);
+        let adaptive = KCore::new(Config::default()).run(&g);
+        assert_eq!(adaptive.coreness(), bz_coreness(&g).as_slice());
+        assert!(adaptive.kmax() >= 16);
+    }
+
+    #[test]
+    fn peeling_is_deterministic_for_fixed_input() {
+        let g = gen::rmat(8, 6, 0.57, 0.19, 0.19, 2);
+        let a = KCore::new(Config::default()).run(&g);
+        let b = KCore::new(Config::default()).run(&g);
+        assert_eq!(a.coreness(), b.coreness());
+    }
+
+    #[test]
+    fn sampling_counters_populate_on_power_law() {
+        let g = gen::barabasi_albert(3000, 4, 11);
+        let techniques = Techniques {
+            sampling: Some(Sampling::with_threshold(16)),
+            vgc: Some(Vgc::default()),
+            mode: PeelMode::Online,
+        };
+        let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+        let s = r.stats();
+        assert!(s.sampled_vertices > 0, "hubs above the threshold must enter sample mode");
+        assert!(s.resamples > 0, "sample-mode vertices are only peeled after exact recounts");
+        assert!(s.validate_calls > 0, "end-of-round validation must have run");
+        assert!(s.peak_chain >= 1, "subround chains feed peak_chain");
+        assert_eq!(s.restarts, 0, "full validation never restarts");
+    }
+
+    #[test]
+    fn sampling_full_validation_is_exact_under_concurrency() {
+        // Hammer the concurrent recount paths: low threshold samples
+        // most of a dense power-law graph.
+        for seed in 0..5 {
+            let g = gen::barabasi_albert(1200, 6, seed);
+            let techniques =
+                Techniques { sampling: Some(Sampling::with_threshold(8)), ..Techniques::default() };
+            let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
+            assert_eq!(r.coreness(), bz_coreness(&g).as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn vgc_collapses_subrounds_on_a_path() {
+        // A path peels inward from both ends: without VGC that is ~n/2
+        // subrounds of 2 vertices; with VGC one worker chases the whole
+        // chain. Run single-threaded for a deterministic chain shape.
+        let g = gen::path(400);
+        let (plain, chased) = with_threads(1, || {
+            let plain = KCore::with_exact_config(Config::default()).run(&g);
+            let vgc = Techniques { vgc: Some(Vgc { chain_limit: 1000 }), ..Techniques::default() };
+            let chased = KCore::with_exact_config(Config::with_techniques(vgc)).run(&g);
+            (plain, chased)
+        });
+        assert_eq!(plain.coreness(), chased.coreness());
+        let (ps, cs) = (plain.stats(), chased.stats());
+        assert!(
+            cs.subrounds < ps.subrounds / 4,
+            "VGC must collapse subrounds: {} vs {}",
+            cs.subrounds,
+            ps.subrounds
+        );
+        assert!(cs.peak_chain > 8, "long chains must be recorded, got {}", cs.peak_chain);
+        assert!(cs.burdened_span < ps.burdened_span, "fewer syncs must shrink the burdened span");
+    }
+
+    #[test]
+    fn vgc_chain_limit_bounds_the_chain() {
+        let g = gen::path(400);
+        let vgc = Techniques { vgc: Some(Vgc { chain_limit: 10 }), ..Techniques::default() };
+        let r = with_threads(1, || KCore::with_exact_config(Config::with_techniques(vgc)).run(&g));
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+        assert!(r.stats().peak_chain <= 10, "chain {} exceeds limit", r.stats().peak_chain);
+    }
+
+    #[test]
+    fn offline_charges_more_syncs_per_subround() {
+        let g = gen::mesh(20, 20);
+        let online = KCore::with_exact_config(Config::default()).run(&g);
+        let offline =
+            KCore::with_exact_config(Config::with_techniques(Techniques::offline())).run(&g);
+        assert_eq!(online.coreness(), offline.coreness());
+        let (on, off) = (online.stats(), offline.stats());
+        assert_eq!(on.global_syncs, on.subrounds);
+        assert_eq!(off.global_syncs, 3 * off.subrounds, "gather + histogram + apply");
+        assert!(off.burdened_span > on.burdened_span);
+    }
+
+    #[test]
+    fn watermark_sampling_restarts_and_stays_exact() {
+        // Zero slack + coarse rate makes undershoot detection miss often
+        // enough that polluted frontiers actually occur; the Las-Vegas
+        // restart must repair every one of them. Single-threaded so the
+        // recount schedule (and thus the restart count) is reproducible.
+        let mut restarts = 0u64;
+        for seed in 0..6 {
+            let g = gen::barabasi_albert(600, 4, seed);
+            let techniques = Techniques {
+                sampling: Some(Sampling {
+                    threshold: 4,
+                    rate_log2: 3,
+                    slack: 0,
+                    validation: Validation::Watermark,
+                    seed,
+                }),
+                ..Techniques::default()
+            };
+            let r = with_threads(1, || {
+                KCore::with_exact_config(Config::with_techniques(techniques)).run(&g)
+            });
+            assert_eq!(r.coreness(), bz_coreness(&g).as_slice(), "seed {seed}");
+            restarts += r.stats().restarts;
+        }
+        assert!(restarts > 0, "zero slack must pollute at least one frontier across seeds");
+    }
+
+    #[test]
+    fn watermark_sampling_with_default_slack_does_not_restart() {
+        let g = gen::barabasi_albert(2000, 5, 3);
+        let techniques = Techniques {
+            sampling: Some(Sampling {
+                validation: Validation::Watermark,
+                ..Sampling::with_threshold(32)
+            }),
+            ..Techniques::default()
+        };
+        let r = KCore::with_exact_config(Config::with_techniques(techniques)).run(&g);
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+        assert_eq!(r.stats().restarts, 0, "default slack keeps the failure probability negligible");
+    }
+
+    #[test]
+    fn kcore_members_agree_with_coreness() {
+        let kc = KCore::new(Config::default());
+        for (label, g) in [
+            ("ba", gen::barabasi_albert(500, 3, 7)),
+            ("mesh", gen::mesh(20, 20)),
+            ("hcns", gen::hcns(30)),
+        ] {
+            let coreness = kc.run(&g);
+            for k in [0, 1, 2, 3, 5, coreness.kmax(), coreness.kmax() + 1] {
+                let members = kc.kcore_members(&g, k);
+                let want: Vec<bool> = coreness.coreness().iter().map(|&c| c >= k).collect();
+                assert_eq!(members, want, "{label}: {k}-core membership");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_through_the_generic_entry_point() {
+        // Drive the engine directly (as a new problem's author would)
+        // and check it matches the facade.
+        let g = gen::barabasi_albert(400, 3, 5);
+        let via_facade = KCore::with_exact_config(Config::default()).run(&g);
+        let problem = KCoreProblem { g: &g };
+        let via_engine = PeelEngine::new(&problem, Config::default()).run();
+        assert_eq!(via_facade.coreness(), via_engine.coreness());
+    }
+}

@@ -1,0 +1,37 @@
+//! The peeling problems shipped on the [`crate::PeelEngine`].
+//!
+//! Each module pairs a [`crate::PeelProblem`] implementation with a
+//! public facade type mirroring the original `KCore` API (`new` /
+//! `with_exact_config` / `config` / `run`) and, where useful, a
+//! sequential oracle for testing:
+//!
+//! * [`kcore`] — vertex peeling by induced degree (the paper's
+//!   subject); unit incidence, every technique applies.
+//! * [`ktruss`] — edge peeling by triangle support; the snapshot-rule
+//!   client that exercises the two-phase driver.
+//! * [`densest`] — min-degree peeling with running density tracking;
+//!   Charikar's greedy 2-approximation at round granularity.
+//!
+//! ## Adding a problem
+//!
+//! 1. Define the element universe (anything countable: vertices, edges,
+//!    hyperedges, cells) and a monotone integer priority.
+//! 2. Implement [`crate::PeelProblem`]: sizes, initial priorities, and
+//!    the decrement rule — [`crate::Incidence::Unit`] if settling an
+//!    element costs each incident element exactly one unit (you get
+//!    sampling + VGC for free), [`crate::Incidence::Snapshot`] if the
+//!    rule needs to observe settle states (you get the two-phase
+//!    driver; make the rule deterministic under the snapshot and
+//!    tie-break shared charges by element id).
+//! 3. Assemble your result from the per-element settle rounds.
+//! 4. Wrap a facade that applies [`crate::Config::apply_env_overrides`]
+//!    and test against a sequential oracle across all bucket
+//!    strategies (see `tests/proptest_problems.rs`).
+
+pub mod densest;
+pub mod kcore;
+pub mod ktruss;
+
+pub use densest::{sequential_greedy_density, DensestResult, DensestSubgraph};
+pub use kcore::KCore;
+pub use ktruss::{sequential_trussness, KTruss, TrussnessResult};

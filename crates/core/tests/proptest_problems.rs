@@ -1,0 +1,176 @@
+//! Property-based correctness for the non-k-core peel problems, plus
+//! the engine-refactor regression guard.
+//!
+//! * **k-truss** must agree edge-for-edge with a sequential
+//!   triangle-recount peeler (no incremental support bookkeeping to
+//!   mirror a parallel bug) across every bucket strategy and both
+//!   drivers.
+//! * **densest subgraph** must produce exactly the k-core density
+//!   curve, and its best density must sandwich against the sequential
+//!   one-vertex-at-a-time greedy: `oracle / 2 <= parallel <= oracle`.
+//! * **k-core on the engine** must stay bit-identical to the
+//!   Batagelj–Zaveršnik oracle (the pre-refactor implementation was
+//!   verified against BZ on exactly these families, so BZ equality is
+//!   the bit-compatibility witness).
+//!
+//! Facades are constructed with `new` (not `with_exact_config`), so the
+//! `KCORE_TECHNIQUES` CI matrix legs push the forced techniques through
+//! every one of these assertions.
+
+use kcore::bz::bz_coreness;
+use kcore::{
+    sequential_greedy_density, sequential_trussness, BucketStrategy, Config, DensestSubgraph,
+    KCore, KTruss, Techniques,
+};
+use kcore_graph::{gen, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn all_strategies() -> Vec<BucketStrategy> {
+    vec![
+        BucketStrategy::Single,
+        BucketStrategy::Fixed(16),
+        BucketStrategy::Hierarchical,
+        BucketStrategy::Adaptive,
+    ]
+}
+
+/// Strategy × online/offline sweep (sampling and VGC join through the
+/// `KCORE_TECHNIQUES` env legs, which `new` applies on top).
+fn all_configs() -> Vec<Config> {
+    let mut out = Vec::new();
+    for strategy in all_strategies() {
+        for techniques in [Techniques::default(), Techniques::offline()] {
+            out.push(Config { bucket_strategy: strategy, techniques, ..Config::default() });
+        }
+    }
+    out
+}
+
+/// Arbitrary messy edge list: duplicates and self-loops allowed. Kept
+/// small enough for the quadratic-ish truss recount oracle.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..32).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..120))
+            .prop_map(|(n, edges)| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+fn assert_truss_matches_oracle(g: &CsrGraph) {
+    let want = sequential_trussness(g);
+    for config in all_configs() {
+        let got = KTruss::new(config).run(g);
+        assert_eq!(
+            got.trussness(),
+            want.as_slice(),
+            "strategy {} + {:?} disagrees with the recount oracle",
+            config.bucket_strategy,
+            config.techniques.mode
+        );
+    }
+}
+
+fn assert_densest_sandwich(g: &CsrGraph) {
+    let oracle = sequential_greedy_density(g);
+    let coreness = bz_coreness(g);
+    for config in all_configs() {
+        let r = DensestSubgraph::new(config).run(g);
+        let got = r.density();
+        assert!(got <= oracle + 1e-9, "parallel {got} exceeds the finer greedy {oracle}");
+        assert!(got * 2.0 + 1e-9 >= oracle, "parallel {got} below oracle/2 ({oracle})");
+        // The curve is exactly the k-core densities.
+        for (k, &d) in r.densities().iter().enumerate() {
+            let nk = coreness.iter().filter(|&&c| c as usize >= k).count();
+            let mk = g
+                .edges()
+                .filter(|&(u, v)| {
+                    coreness[u as usize] as usize >= k && coreness[v as usize] as usize >= k
+                })
+                .count();
+            let want = if nk == 0 { 0.0 } else { mk as f64 / nk as f64 };
+            assert_eq!(d, want, "density of the {k}-core under {}", config.bucket_strategy);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ktruss_matches_recount_oracle(g in arb_graph()) {
+        assert_truss_matches_oracle(&g);
+    }
+
+    #[test]
+    fn ktruss_on_powerlaw_matches_oracle(n in 10usize..60, seed in any::<u64>()) {
+        assert_truss_matches_oracle(&gen::barabasi_albert(n, 3.min(n - 1), seed));
+    }
+
+    #[test]
+    fn densest_sandwich_on_arbitrary_graphs(g in arb_graph()) {
+        assert_densest_sandwich(&g);
+    }
+
+    #[test]
+    fn densest_sandwich_on_powerlaw(n in 10usize..80, seed in any::<u64>()) {
+        assert_densest_sandwich(&gen::barabasi_albert(n, 2.min(n - 1), seed));
+    }
+
+    #[test]
+    fn trussness_is_bounded_by_coreness_plus_one(g in arb_graph()) {
+        // Classical containment: the k-truss is a subgraph of the
+        // (k-1)-core, so t(e) <= min(core(u), core(v)) + 1 for e={u,v}.
+        let truss = KTruss::new(Config::default()).run(&g);
+        let coreness = bz_coreness(&g);
+        for ((u, v), t) in truss.edges() {
+            let bound = coreness[u as usize].min(coreness[v as usize]) + 1;
+            prop_assert!(
+                t <= bound,
+                "edge ({u},{v}): trussness {t} exceeds coreness bound {bound}"
+            );
+        }
+    }
+}
+
+/// The engine-refactor regression guard: `PeelEngine`-based k-core must
+/// be bit-identical to the pre-refactor coreness on the seed
+/// generators, for every strategy. BZ is the witness (the pre-refactor
+/// implementation matched it on these exact inputs).
+#[test]
+fn engine_kcore_bit_identical_on_seed_generators() {
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("path", gen::path(40)),
+        ("cycle", gen::cycle(33)),
+        ("star", gen::star(65)),
+        ("complete", gen::complete(20)),
+        ("bipartite", gen::complete_bipartite(4, 9)),
+        ("grid2d", gen::grid2d(24, 17)),
+        ("grid3d", gen::grid3d(6, 7, 8)),
+        ("mesh", gen::mesh(15, 15)),
+        ("road", gen::road(20, 20, 0.15, 0.1, 7)),
+        ("erdos_renyi", gen::erdos_renyi(300, 900, 3)),
+        ("barabasi_albert", gen::barabasi_albert(400, 3, 11)),
+        ("rmat", gen::rmat(9, 8, 0.57, 0.19, 0.19, 5)),
+        ("knn", gen::knn(250, 4, 13)),
+        ("planted_core", gen::planted_core(200, 2, 40, 9)),
+        ("hcns", gen::hcns(40)),
+    ];
+    for (label, g) in &graphs {
+        let want = bz_coreness(g);
+        for strategy in all_strategies() {
+            let got = KCore::new(Config::with_strategy(strategy)).run(g);
+            assert_eq!(got.coreness(), want.as_slice(), "{label} under {strategy}");
+        }
+    }
+}
+
+/// The three problems agree on their shared structure: the densest
+/// run's coreness equals k-core's, and trussness respects it.
+#[test]
+fn problems_are_mutually_consistent() {
+    let g = gen::planted_core(200, 2, 30, 17);
+    let core = KCore::new(Config::default()).run(&g);
+    let densest = DensestSubgraph::new(Config::default()).run(&g);
+    assert_eq!(core.coreness(), densest.coreness());
+    let truss = KTruss::new(Config::default()).run(&g);
+    assert_eq!(truss.num_edges(), g.num_edges());
+    assert!(truss.max_trussness() <= core.kmax() + 1);
+}

@@ -104,6 +104,15 @@ impl CsrGraph {
         &self.edges[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// The range of arc positions belonging to `v` — indexes any array
+    /// laid out parallel to the arc array, such as
+    /// [`crate::EdgeIndex`]'s arc→edge-id map.
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
     /// Whether the undirected edge `{u, v}` is present (binary search).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.neighbors(u).binary_search(&v).is_ok()

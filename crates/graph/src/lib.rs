@@ -14,6 +14,10 @@
 //! * [`io`] — edge-list text, adjacency-graph text, and compact binary
 //!   serialization.
 //! * [`stats`] — degree statistics used by the benchmark tables.
+//! * [`edges`] / [`triangles`] — the edge-id view ([`EdgeIndex`]) and
+//!   parallel triangle primitives that back *edge* peeling (k-truss):
+//!   dense undirected-edge ids over the CSR arcs, per-edge triangle
+//!   supports, and per-edge triangle enumeration.
 //!
 //! The paper's graphs reach terabyte scale; this crate targets
 //! laptop-scale analogs of the same families (see `DESIGN.md` §2 for the
@@ -21,10 +25,13 @@
 
 pub mod builder;
 pub mod csr;
+pub mod edges;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod triangles;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
+pub use edges::EdgeIndex;
 pub use stats::GraphStats;

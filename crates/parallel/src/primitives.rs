@@ -127,6 +127,41 @@ pub fn exclusive_scan(counts: &[usize]) -> (Vec<usize>, usize) {
     (prefix, acc)
 }
 
+/// Calls `f(i, j)` for every value present in both strictly increasing
+/// slices, where `i` / `j` are the value's positions in `a` / `b`.
+///
+/// Linear two-pointer merge, `O(|a| + |b|)`. This is the sequential
+/// kernel of triangle enumeration: callers parallelize *across* edges
+/// (one intersection per edge) rather than within one intersection,
+/// which matches the paper's flat fork–join model — intersections are
+/// tiny compared to the edge set.
+#[inline]
+pub fn intersect_sorted_positions<F>(a: &[u32], b: &[u32], mut f: F)
+where
+    F: FnMut(usize, usize),
+{
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(i, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Size of the intersection of two strictly increasing slices.
+#[inline]
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut count = 0usize;
+    intersect_sorted_positions(a, b, |_, _| count += 1);
+    count
+}
+
 /// Counts the indices in `0..n` satisfying `pred`, in parallel.
 pub fn par_count<F>(n: usize, pred: F) -> usize
 where
@@ -192,6 +227,22 @@ mod tests {
         let (p, t) = exclusive_scan(&[]);
         assert!(p.is_empty());
         assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn intersection_matches_naive() {
+        let a: Vec<u32> = (0..200).filter(|x| x % 3 == 0).collect();
+        let b: Vec<u32> = (0..200).filter(|x| x % 5 == 0).collect();
+        let mut hits = Vec::new();
+        intersect_sorted_positions(&a, &b, |i, j| {
+            assert_eq!(a[i], b[j]);
+            hits.push(a[i]);
+        });
+        let want: Vec<u32> = (0..200).filter(|x| x % 15 == 0).collect();
+        assert_eq!(hits, want);
+        assert_eq!(intersection_size(&a, &b), want.len());
+        assert_eq!(intersection_size(&a, &[]), 0);
+        assert_eq!(intersection_size(&[], &b), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! to keep `cargo bench` runnable offline; swap in the real criterion
 //! via the workspace `[workspace.dependencies]` entry for real numbers.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -15,6 +16,27 @@ pub use std::hint::black_box;
 const WARMUP_ITERS: u64 = 3;
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 const MAX_ITERS: u64 = 10_000;
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: u64,
+    /// Iterations measured (after warmup).
+    pub iters: u64,
+}
+
+/// Process-global measurement log. The real criterion persists results
+/// itself; the shim instead exposes them so a harness (see
+/// `kcore_bench::summary`) can emit machine-readable output.
+static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_reports() -> Vec<Report> {
+    std::mem::take(&mut *REPORTS.lock().unwrap())
+}
 
 /// Entry point handed to each benchmark function.
 pub struct Criterion {
@@ -45,6 +67,11 @@ impl Criterion {
         f(&mut b);
         let per_iter = (b.total.as_nanos() as u64).checked_div(b.iters).unwrap_or(0);
         println!("{id:<50} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        REPORTS.lock().unwrap().push(Report {
+            id: id.to_string(),
+            ns_per_iter: per_iter,
+            iters: b.iters,
+        });
         self
     }
 }

@@ -9,23 +9,32 @@
 //! bucketing structure (HBS)** that manages the active set on graphs with
 //! large coreness.
 //!
+//! The framework is not k-core-specific: the workspace factors it into
+//! a problem-agnostic **peel engine** (`kcore::PeelEngine` +
+//! `kcore::PeelProblem`) with k-core as its first client, plus
+//! **k-truss** decomposition (edge peeling by triangle support) and
+//! **greedy densest subgraph** (min-degree peeling with running density
+//! tracking, a 2-approximation) on the same engine, techniques, and
+//! bucket structures.
+//!
 //! This facade crate re-exports the workspace's public API:
 //!
-//! * [`graph`] — CSR graphs, builders, synthetic generators, and I/O
+//! * [`graph`] — CSR graphs, builders, synthetic generators, I/O, and
+//!   the edge-id / triangle primitives behind edge peeling
 //!   ([`kcore_graph`]).
-//! * [`parallel`] — parallel primitives: pack, scan, histogram, the
-//!   parallel hash bag, and scheduling instrumentation ([`kcore_parallel`]).
-//! * [`buckets`] — bucketing structures, including HBS
-//!   ([`kcore_buckets`]).
-//! * [`core`] — the decomposition algorithms: the work-efficient parallel
-//!   peeling framework and the sequential BZ baseline ([`kcore`]); the
-//!   sampling scheme, VGC, and the remaining baselines are tracked in
-//!   `ROADMAP.md`.
+//! * [`parallel`] — parallel primitives: pack, scan, histogram, sorted
+//!   intersection, the parallel hash bag, and scheduling
+//!   instrumentation ([`kcore_parallel`]).
+//! * [`buckets`] — bucketing structures over opaque elements and
+//!   priorities, including HBS ([`kcore_buckets`]).
+//! * [`core`] — the peel engine and its problems: k-core, k-truss,
+//!   densest subgraph, and the sequential oracles they are tested
+//!   against ([`kcore`]).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use parallel_kcore::core::{KCore, Config};
+//! use parallel_kcore::core::{Config, DensestSubgraph, KCore, KTruss};
 //! use parallel_kcore::graph::gen;
 //!
 //! // A 100x100 grid: interior vertices have degree 4, the whole graph is a
@@ -33,6 +42,10 @@
 //! let g = gen::grid2d(100, 100);
 //! let result = KCore::new(Config::default()).run(&g);
 //! assert_eq!(result.kmax(), 2);
+//!
+//! // The same engine peels edges and tracks densities.
+//! assert_eq!(KTruss::new(Config::default()).run(&g).max_trussness(), 2);
+//! assert!(DensestSubgraph::new(Config::default()).run(&g).density() > 1.9);
 //! ```
 pub use kcore as core;
 pub use kcore_buckets as buckets;
@@ -41,6 +54,9 @@ pub use kcore_parallel as parallel;
 
 /// Convenience re-export of the most common entry points.
 pub mod prelude {
-    pub use kcore::{Config, CorenessResult, KCore};
-    pub use kcore_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use kcore::{
+        Config, CorenessResult, DensestResult, DensestSubgraph, KCore, KTruss, PeelEngine,
+        PeelProblem, TrussnessResult,
+    };
+    pub use kcore_graph::{CsrGraph, EdgeIndex, GraphBuilder, VertexId};
 }
