@@ -1,16 +1,20 @@
 //! Cross-problem sweep: the same graphs through every peeling problem
 //! the engine ships — k-core (vertex peeling), k-truss (edge peeling,
-//! two-phase snapshot rule), and greedy densest subgraph (min-degree
-//! peeling + density curve) — under the default adaptive strategy and,
-//! for the cheapest graph, the offline driver.
+//! two-phase snapshot rule), greedy densest subgraph (min-degree
+//! peeling + density curve), (k,h)-core (recompute incidence over
+//! h-hop balls), and the batched (2+ε)-approximate densest subgraph
+//! (threshold-policy rounds, swept over ε) — under the default
+//! adaptive strategy and, for the cheapest graph, the offline driver.
 //!
-//! This is the engine-generality benchmark: one loop, three element
-//! universes. k-truss additionally charges its setup (edge index +
-//! triangle supports), reported separately so the peel itself stays
-//! comparable.
+//! This is the engine-generality benchmark: one loop, five element
+//! universes / round structures. k-truss additionally charges its
+//! setup (edge index + triangle supports), reported separately so the
+//! peel itself stays comparable. The approx-densest ε sweep is the
+//! timing side of the rounds-vs-ε law (`O(log₁₊ε n)` rounds, asserted
+//! in `tests/proptest_problems.rs`): larger ε → fewer, fatter rounds.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{Config, DensestSubgraph, KCore, KTruss, Techniques};
+use kcore::{ApproxDensest, Config, DensestSubgraph, KCore, KTruss, KhCore, Techniques};
 use kcore_graph::triangles::edge_supports;
 use kcore_graph::{gen, EdgeIndex};
 
@@ -36,6 +40,20 @@ fn bench_problems(c: &mut Criterion) {
                 let idx = EdgeIndex::build(g);
                 black_box(edge_supports(g, &idx))
             })
+        });
+        for eps in kcore::SWEPT_EPSILONS {
+            c.bench_function(&format!("problems/{name}/approx-densest-eps{eps}"), |b| {
+                b.iter(|| black_box(ApproxDensest::with_exact_config(config, eps).run(g)))
+            });
+        }
+    }
+    // (k,h)-core: ball recomputes are the dominant cost (each is
+    // O(|ball|) via the epoch-stamped scratch), so keep to the two
+    // structured graphs where 2-hop balls stay bounded — BA hubs'
+    // balls span the graph and would measure the BFS, not the engine.
+    for (name, g) in [&graphs[1], &graphs[2]] {
+        c.bench_function(&format!("problems/{name}/khcore-h2"), |b| {
+            b.iter(|| black_box(KhCore::with_exact_config(config, 2).run(g)))
         });
     }
     // Offline driver comparison on one representative.

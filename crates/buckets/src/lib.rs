@@ -53,7 +53,12 @@ pub trait PriorityView: Sync {
 
 /// Backwards-compatible alias from the era when the only peeling
 /// problem was k-core and the priority was always an induced degree.
-/// Same trait, older name; prefer [`PriorityView`].
+/// Same trait, older name. Deprecated: every in-tree use has migrated
+/// to [`PriorityView`]; the alias remains only so external callers
+/// written against the pre-rename API keep compiling, and it will be
+/// removed once they have had a release to migrate.
+#[doc(hidden)]
+#[deprecated(note = "renamed to `PriorityView`; the alias will be removed")]
 pub use PriorityView as DegreeView;
 
 /// A structure producing per-round initial frontiers for peeling.
@@ -93,6 +98,29 @@ pub trait BucketStructure: Send + Sync {
         }
         out
     }
+
+    /// Threshold extraction: returns every active element with priority
+    /// `<= t` in one step — the batched round form used by
+    /// `RoundPolicy::Threshold` peeling (e.g. the (2+ε)-approximate
+    /// densest-subgraph rounds, which peel everything at or below
+    /// `(1+ε/2)·`avg-degree at once).
+    ///
+    /// Contract: thresholds across calls are strictly increasing, and a
+    /// threshold extraction at `t` participates in the monotone key
+    /// sequence as if the structure had advanced past round `t` — any
+    /// later `next_frontier(k)` / `drain_threshold(t')` call must use
+    /// `k > t` / `t' > t`. Each element is surfaced at most once per
+    /// call (duplicate stale copies are collapsed), and elements left
+    /// behind all have priority `> t`.
+    ///
+    /// Required (no default): a generic fallback cannot know how far
+    /// the structure's key sequence has advanced, so it could only
+    /// replay `next_frontier_range` from key 0 — violating the
+    /// monotone contract on the second drain of a run. Every strategy
+    /// implements the drain natively (building on its
+    /// [`BucketStructure::next_frontier_range`] machinery), so a
+    /// threshold round is never simulated by repeated min-bucket pops.
+    fn drain_threshold(&mut self, t: u32, view: &dyn PriorityView) -> Vec<u32>;
 
     /// Notifies the structure that `v`'s priority dropped from
     /// `old_key` to `new_key` while the algorithm is peeling round `k`.
@@ -194,6 +222,41 @@ pub(crate) mod testutil {
         let mut want: Vec<u32> = (0..keys.len() as u32).collect();
         want.sort_unstable();
         assert_eq!(got, want, "range extraction must surface every vertex once");
+    }
+
+    /// Drives a bucket structure through an increasing sequence of
+    /// threshold drains and checks the threshold-extraction contract:
+    /// each drain surfaces exactly the live vertices with key `<= t`,
+    /// exactly once across the whole schedule. Keys are static.
+    pub fn run_threshold_schedule(
+        structure: &mut dyn super::BucketStructure,
+        keys: &[u32],
+        thresholds: &[u32],
+    ) {
+        let view = TestView::new(keys);
+        let mut seen = vec![false; keys.len()];
+        let mut prev: Option<u32> = None;
+        for &t in thresholds {
+            assert!(prev.is_none_or(|p| t > p), "thresholds must increase");
+            let mut got = structure.drain_threshold(t, &view);
+            got.sort_unstable();
+            let floor = prev.map_or(0, |p| p + 1);
+            let mut want: Vec<u32> = (0..keys.len() as u32)
+                .filter(|&v| keys[v as usize] >= floor && keys[v as usize] <= t)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "drain at threshold {t} (floor {floor})");
+            for &v in &got {
+                assert!(!seen[v as usize], "vertex {v} surfaced twice");
+                seen[v as usize] = true;
+                view.kill(v);
+            }
+            prev = Some(t);
+        }
+        let maxk = keys.iter().copied().max().unwrap_or(0);
+        if prev.is_some_and(|p| p >= maxk) {
+            assert!(seen.iter().all(|&s| s), "some vertex never surfaced: {seen:?}");
+        }
     }
 
     /// Drives a bucket structure through a full synthetic peeling

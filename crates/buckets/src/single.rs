@@ -54,6 +54,14 @@ impl BucketStructure for SingleBucket {
         pack(&self.active, |&v| view.key(v) < hi)
     }
 
+    fn drain_threshold(&mut self, t: u32, view: &dyn PriorityView) -> Vec<u32> {
+        // Threshold extraction is the native operation of a flat array:
+        // one pass splits the active set at the threshold.
+        let frontier = pack(&self.active, |&v| view.alive(v) && view.key(v) <= t);
+        self.active = pack(&self.active, |&v| view.alive(v) && view.key(v) > t);
+        frontier
+    }
+
     fn on_decrease(&self, _v: u32, _old_key: u32, _new_key: u32, _k: u32) {
         // Nothing to maintain: frontiers are recomputed by scanning.
     }
@@ -115,6 +123,30 @@ mod tests {
         let keys: Vec<u32> = (0..300).map(|i| (i * 31) % 97).collect();
         let mut s = SingleBucket::new(&keys);
         crate::testutil::run_range_extraction(&mut s, &keys);
+    }
+
+    #[test]
+    fn threshold_drains_split_the_active_set() {
+        let keys: Vec<u32> = (0..200).map(|i| (i * 13) % 61).collect();
+        let mut s = SingleBucket::new(&keys);
+        crate::testutil::run_threshold_schedule(&mut s, &keys, &[0, 7, 8, 30, 60]);
+    }
+
+    #[test]
+    fn threshold_drain_then_frontier_keeps_working() {
+        let keys = vec![1, 4, 9, 12];
+        let view = TestView::new(&keys);
+        let mut s = SingleBucket::new(&keys);
+        let mut got = s.drain_threshold(5, &view);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        for &v in &got {
+            view.kill(v);
+        }
+        for k in 6..9 {
+            assert!(s.next_frontier(k, &view).is_empty());
+        }
+        assert_eq!(s.next_frontier(9, &view), vec![2]);
     }
 
     #[test]

@@ -71,8 +71,26 @@ impl Config {
     /// ever *enable* features (with their default parameters); an unset
     /// or empty variable leaves the config untouched.
     pub fn apply_env_overrides(self) -> Self {
+        self.apply_env_overrides_filtered(&["sampling", "vgc", "offline"])
+    }
+
+    /// Applies the `KCORE_TECHNIQUES` environment override restricted
+    /// to `supported` tokens; known-but-unsupported tokens are dropped,
+    /// unknown tokens still panic.
+    ///
+    /// This is the env-override entry for problem facades whose axes
+    /// reject some techniques outright ([`crate::ApproxDensest`],
+    /// [`crate::KhCore`]): the engine panics on an *explicitly*
+    /// configured sampling/offline block under threshold rounds or
+    /// recompute incidences, but a CI matrix leg forcing
+    /// `KCORE_TECHNIQUES=offline` over the whole suite is a blanket
+    /// request, not a per-problem one — those facades honor the tokens
+    /// that apply to them and drop the rest, so the forced legs still
+    /// exercise every problem instead of tripping the combination
+    /// guard.
+    pub fn apply_env_overrides_filtered(self, supported: &[&str]) -> Self {
         match std::env::var("KCORE_TECHNIQUES") {
-            Ok(spec) => self.apply_techniques_spec(&spec),
+            Ok(spec) => self.apply_techniques_spec_filtered(&spec, supported),
             Err(_) => self,
         }
     }
@@ -85,20 +103,42 @@ impl Config {
     ///
     /// Panics on unknown tokens — a misspelled CI override should fail
     /// loudly, not silently run the baseline.
-    pub fn apply_techniques_spec(mut self, spec: &str) -> Self {
+    pub fn apply_techniques_spec(self, spec: &str) -> Self {
+        self.apply_techniques_spec_filtered(spec, &["sampling", "vgc", "offline"])
+    }
+
+    /// Spec application restricted to `supported` tokens (the testable
+    /// core of [`Config::apply_env_overrides_filtered`]). The `all`
+    /// shorthand expands to `sampling,vgc` first and each component is
+    /// filtered individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens, exactly like
+    /// [`Config::apply_techniques_spec`].
+    pub fn apply_techniques_spec_filtered(mut self, spec: &str, supported: &[&str]) -> Self {
+        let on = |name: &str| supported.contains(&name);
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             match token {
-                "sampling" => {
+                "sampling" if on("sampling") => {
                     self.techniques.sampling.get_or_insert_with(Sampling::default);
                 }
-                "vgc" => {
+                "vgc" if on("vgc") => {
                     self.techniques.vgc.get_or_insert_with(Vgc::default);
                 }
-                "offline" => self.techniques.mode = PeelMode::Offline(Offline::default()),
+                "offline" if on("offline") => {
+                    self.techniques.mode = PeelMode::Offline(Offline::default());
+                }
                 "all" => {
-                    self.techniques.sampling.get_or_insert_with(Sampling::default);
-                    self.techniques.vgc.get_or_insert_with(Vgc::default);
+                    if on("sampling") {
+                        self.techniques.sampling.get_or_insert_with(Sampling::default);
+                    }
+                    if on("vgc") {
+                        self.techniques.vgc.get_or_insert_with(Vgc::default);
+                    }
                 }
+                // Known token, filtered out for this problem's axes.
+                "sampling" | "vgc" | "offline" => {}
                 other => panic!(
                     "KCORE_TECHNIQUES: unknown token {other:?} \
                      (valid: sampling, vgc, offline, all)"
@@ -346,5 +386,23 @@ mod tests {
     #[should_panic(expected = "unknown token")]
     fn techniques_spec_rejects_typos() {
         let _ = Config::default().apply_techniques_spec("samplign");
+    }
+
+    #[test]
+    fn filtered_spec_drops_unsupported_tokens() {
+        let c = Config::default().apply_techniques_spec_filtered("sampling,vgc,offline", &["vgc"]);
+        assert!(c.techniques.sampling.is_none(), "sampling filtered out");
+        assert!(c.techniques.vgc.is_some(), "vgc passes the filter");
+        assert_eq!(c.techniques.mode, PeelMode::Online, "offline filtered out");
+        // The `all` shorthand filters per component.
+        let c = Config::default().apply_techniques_spec_filtered("all", &["vgc"]);
+        assert!(c.techniques.sampling.is_none());
+        assert!(c.techniques.vgc.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn filtered_spec_still_rejects_typos() {
+        let _ = Config::default().apply_techniques_spec_filtered("offlien", &["vgc"]);
     }
 }

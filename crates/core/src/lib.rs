@@ -22,6 +22,14 @@
 //! * [`DensestSubgraph`] — Charikar's greedy densest subgraph as
 //!   min-degree peeling with a per-round density curve; a
 //!   2-approximation. [`sequential_greedy_density`] is its oracle.
+//! * [`KhCore`] — the distance-generalized (k,h)-core (vertices by
+//!   live h-hop ball size), the [`Incidence::Recompute`] client:
+//!   priorities are recomputed over survivors through the generalized
+//!   CAS clamp. [`sequential_kh_coreness`] is its recount oracle.
+//! * [`ApproxDensest`] — the batched (2+ε)-approximate densest
+//!   subgraph, the [`RoundPolicy::Threshold`] client: each round peels
+//!   everything at or below `(1+ε/2)·`avg-degree, for `O(log₁₊ε n)`
+//!   rounds total.
 //!
 //! The paper's Sec. 4 practical techniques plug into the engine through
 //! the [`Techniques`] block of [`Config`]:
@@ -75,10 +83,12 @@ mod result;
 pub use config::{Config, HistogramKind, Offline, PeelMode, Sampling, Techniques, Validation, Vgc};
 pub use kcore_buckets::BucketStrategy;
 pub use peel::{
-    ElementState, Incidence, PeelEngine, PeelProblem, SettleView, SnapshotRule, UnitIncidence,
+    ElementState, Incidence, PeelEngine, PeelProblem, RecomputeRule, RoundAggregates, RoundPolicy,
+    SettleView, SnapshotRule, ThresholdPolicy, UnitIncidence,
 };
 pub use problems::{
-    sequential_greedy_density, sequential_trussness, DensestResult, DensestSubgraph, KCore, KTruss,
-    TrussnessResult,
+    sequential_greedy_density, sequential_kh_coreness, sequential_trussness, ApproxDensest,
+    ApproxDensestResult, DensestResult, DensestSubgraph, KCore, KTruss, KhCore, KhCoreResult,
+    TrussnessResult, SWEPT_EPSILONS,
 };
 pub use result::CorenessResult;

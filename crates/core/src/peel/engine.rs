@@ -16,7 +16,7 @@
 //!   strategy upgrades, and the sampling / VGC / offline techniques
 //!   with their Las-Vegas restart loop.
 //!
-//! Two incidence flavors cover the known peeling problems:
+//! Three incidence flavors cover the known peeling problems:
 //!
 //! * [`Incidence::Unit`] — "each settled incident element costs one
 //!   priority unit" over static adjacency lists (k-core: vertex degree
@@ -32,6 +32,32 @@
 //!   settled, global barrier, evaluate the rule against the frozen
 //!   [`SettleView`] — charging 2 syncs per subround in the burdened
 //!   span. Sampling and VGC assume unit semantics and are gated off.
+//! * [`Incidence::Recompute`] — a settle does not *decrement* incident
+//!   priorities; it invalidates them, and the problem *recomputes* each
+//!   affected priority from scratch over the survivors ((k,h)-core:
+//!   the live h-hop ball size, an h-index-style quantity that can drop
+//!   by many units per death). The engine runs the same two-phase
+//!   subround as snapshot rules and enforces monotone decrease with the
+//!   generalized CAS clamp [`clamped_update`] — the unit
+//!   [`clamped_decrement`] is now just its `d - 1` special case.
+//!
+//! Orthogonally, a [`RoundPolicy`] chooses the round structure:
+//!
+//! * [`RoundPolicy::MinBucket`] — today's behavior, bit-identical:
+//!   round `k` peels the elements of priority exactly `k`.
+//! * [`RoundPolicy::Threshold`] — each round batches a whole priority
+//!   range: the policy computes a peel threshold `t` from the live
+//!   [`RoundAggregates`] (remaining elements, remaining priority sum),
+//!   the bucket structure drains everything at or below `t` in one
+//!   step ([`kcore_buckets::BucketStructure::drain_threshold`]), and
+//!   the clamp floor for the round is `t` instead of `k`. This is the
+//!   `O(log n)`-round regime of the (2+ε)-approximate densest
+//!   subgraph. Unit incidences only.
+//!
+//! Not every technique composes with the new axes: sampling and the
+//! offline driver are rejected with a panic (see
+//! [`PeelEngine::run`]); VGC composes with threshold rounds and is
+//! ignored (like for snapshot rules) under recompute incidences.
 
 use super::sampling::SamplingState;
 use super::{offline, vgc};
@@ -134,6 +160,15 @@ impl<'a> SettleView<'a> {
             ElementState::Dead
         }
     }
+
+    /// Whether `e` survives this subround (not settled in it or any
+    /// earlier one). [`RecomputeRule`]s recompute priorities over
+    /// exactly the elements for which this holds — peers are already
+    /// dying and must not be counted.
+    #[inline]
+    pub fn alive(&self, e: u32) -> bool {
+        self.stamps[e as usize].load(Ordering::Relaxed) == 0
+    }
 }
 
 /// A decrement rule that must observe other elements' settle state.
@@ -149,6 +184,31 @@ pub trait SnapshotRule: Sync {
     fn for_each_decrement(&self, e: u32, k: u32, view: &SettleView<'_>, emit: &mut dyn FnMut(u32));
 }
 
+/// A priority that is *recomputed* from the surviving elements rather
+/// than maintained by decrements — the h-index-style flavor, where one
+/// death can lower an incident priority by many units.
+///
+/// Invoked in the second phase of a two-phase subround, strictly after
+/// every same-subround settle has been stamped, so
+/// [`SettleView::alive`] answers identically for every worker and
+/// `recompute` is a pure function of the snapshot. The engine
+/// deduplicates: each affected element is recomputed at most once per
+/// subround no matter how many dying elements name it as a target.
+pub trait RecomputeRule: Sync {
+    /// Calls `emit(t)` for every element whose priority may have
+    /// dropped because `e` settled. A superset is fine (extra targets
+    /// cost a recompute that finds nothing to lower); a miss is not —
+    /// every element whose priority actually changed must be emitted
+    /// by at least one same-subround death.
+    fn for_each_target(&self, e: u32, emit: &mut dyn FnMut(u32));
+
+    /// Recomputes `t`'s priority over the elements alive in `view`
+    /// (see [`SettleView::alive`]; peers count as dead). The result
+    /// must be monotone: recomputing after more deaths never yields a
+    /// larger value.
+    fn recompute(&self, t: u32, view: &SettleView<'_>) -> u32;
+}
+
 /// How settling an element lowers other elements' priorities — the
 /// problem's clamped-decrement rule over its incidence relation.
 pub enum Incidence<'p> {
@@ -158,6 +218,54 @@ pub enum Incidence<'p> {
     /// Arbitrary rule against a consistent settle snapshot; peeled by
     /// the two-phase driver (settle barrier before rule evaluation).
     Snapshot(&'p dyn SnapshotRule),
+    /// Priorities recomputed from scratch over the survivors; peeled by
+    /// the two-phase driver with the generalized CAS clamp
+    /// ([`clamped_update`]) enforcing monotone decrease.
+    Recompute(&'p dyn RecomputeRule),
+}
+
+/// Live aggregates of the peel, maintained by the engine and handed to
+/// [`ThresholdPolicy`] implementations at every round boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundAggregates {
+    /// Index of the round about to start (also the settle round its
+    /// frontier will receive).
+    pub round: u32,
+    /// Elements not yet settled.
+    pub remaining: usize,
+    /// Sum of the live elements' current priorities. For degree-like
+    /// priorities this is twice the count of surviving incidences, so
+    /// `priority_sum / remaining` is the live average degree.
+    pub priority_sum: u64,
+    /// Lower bound on every live priority: one past the previous
+    /// round's peel threshold (0 at round 0).
+    pub floor: u32,
+}
+
+/// Computes a round's peel threshold from the live aggregates — the
+/// [`RoundPolicy::Threshold`] plug-in.
+pub trait ThresholdPolicy: Sync {
+    /// Peel threshold for the round described by `agg`: every live
+    /// element with priority `<= threshold` settles this round
+    /// (including elements dragged down to it by the cascade). Values
+    /// below `agg.floor` are clamped up to it, so a round always has a
+    /// chance to progress; returning at least the live minimum
+    /// priority (any value `>= priority_sum / remaining` does) keeps
+    /// every round non-empty.
+    fn threshold(&self, agg: &RoundAggregates) -> u32;
+}
+
+/// How the engine forms rounds — the round-structure axis of the
+/// framework, chosen by the problem via [`PeelProblem::round_policy`].
+pub enum RoundPolicy<'p> {
+    /// Round `k` peels priority exactly `k` (today's behavior,
+    /// bit-identical to the pre-policy engine).
+    MinBucket,
+    /// Round `r` peels every priority at or below a threshold computed
+    /// from the live aggregates; rounds batch whole priority ranges
+    /// and the clamp floor is the threshold. Requires
+    /// [`Incidence::Unit`].
+    Threshold(&'p dyn ThresholdPolicy),
 }
 
 /// A peeling-with-monotone-priorities problem, pluggable into
@@ -187,6 +295,13 @@ pub trait PeelProblem: Sync {
 
     /// The decrement rule.
     fn incidence(&self) -> Incidence<'_>;
+
+    /// The round structure. Default: [`RoundPolicy::MinBucket`], the
+    /// exact-priority rounds every pre-policy problem ran with.
+    #[inline]
+    fn round_policy(&self) -> RoundPolicy<'_> {
+        RoundPolicy::MinBucket
+    }
 
     /// Settle action: invoked as element `e` settles at round `k`,
     /// possibly from parallel workers (keep it cheap and thread-safe).
@@ -229,7 +344,17 @@ impl<'p, P: PeelProblem> PeelEngine<'p, P> {
     /// Sampling's Las-Vegas restart loop lives here: a polluted
     /// frontier aborts the attempt and the run repeats with sampling
     /// disabled ([`RunStats::restarts`] counts the aborts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured techniques cannot honor the
+    /// problem's axes: sampling and the offline driver are
+    /// `RoundPolicy::MinBucket` + `Unit`/`Snapshot` refinements and are
+    /// rejected — never silently mis-run — under
+    /// [`RoundPolicy::Threshold`] or [`Incidence::Recompute`] (see
+    /// [`validate_combination`]).
     pub fn run(&self) -> P::Output {
+        validate_combination(&self.config, &self.problem.round_policy(), &self.problem.incidence());
         if self.problem.num_elements() == 0 {
             return self.problem.assemble(Vec::new(), RunStats::default());
         }
@@ -252,6 +377,42 @@ impl<'p, P: PeelProblem> PeelEngine<'p, P> {
                 }
             }
         }
+    }
+}
+
+/// Rejects technique × axis combinations the engine cannot honor,
+/// mirroring the `KCORE_TECHNIQUES` unknown-token panic: fail loudly
+/// with the valid combinations named, never silently produce a wrong
+/// (or silently degraded) result.
+///
+/// Sampling approximates priorities that decrease by units, and the
+/// offline driver histograms unit decrements — neither is defined for
+/// threshold-batched rounds or recomputed priorities. VGC composes
+/// with threshold rounds (the chase clamps to the round threshold) and
+/// is ignored under snapshot/recompute incidences, as before.
+pub(crate) fn validate_combination(
+    config: &Config,
+    policy: &RoundPolicy<'_>,
+    incidence: &Incidence<'_>,
+) {
+    const VALID: &str = "valid combinations: sampling and offline require \
+         RoundPolicy::MinBucket with Incidence::Unit or Incidence::Snapshot \
+         (sampling applies to Unit only and is otherwise ignored); \
+         RoundPolicy::Threshold requires Incidence::Unit and composes with vgc; \
+         Incidence::Recompute runs the online MinBucket driver, vgc ignored";
+    let axis = match (policy, incidence) {
+        (RoundPolicy::MinBucket, Incidence::Unit(_) | Incidence::Snapshot(_)) => return,
+        (RoundPolicy::Threshold(_), Incidence::Unit(_)) => "RoundPolicy::Threshold",
+        (RoundPolicy::Threshold(_), Incidence::Snapshot(_) | Incidence::Recompute(_)) => {
+            panic!("RoundPolicy::Threshold requires Incidence::Unit ({VALID})")
+        }
+        (RoundPolicy::MinBucket, Incidence::Recompute(_)) => "Incidence::Recompute",
+    };
+    if config.techniques.sampling.is_some() {
+        panic!("{axis} does not support the sampling technique ({VALID})");
+    }
+    if matches!(config.techniques.mode, PeelMode::Offline(_)) {
+        panic!("{axis} does not support the offline driver ({VALID})");
     }
 }
 
@@ -288,15 +449,26 @@ pub(crate) struct OnlineCtx<'a, P: PeelProblem> {
     pub(crate) chain_limit: u32,
 }
 
-/// The online driver: dispatches on the problem's incidence flavor.
+/// The online driver: dispatches on the problem's round policy and
+/// incidence flavor (unsupported pairings were rejected up front by
+/// [`validate_combination`]).
 fn online_run<P: PeelProblem>(
     config: &Config,
     problem: &P,
     stats: &mut RunStats,
 ) -> Result<Vec<u32>, Polluted> {
-    match problem.incidence() {
-        Incidence::Unit(inc) => online_unit(config, problem, inc, stats),
-        Incidence::Snapshot(rule) => Ok(online_snapshot(config, problem, rule, stats)),
+    match (problem.round_policy(), problem.incidence()) {
+        (RoundPolicy::MinBucket, Incidence::Unit(inc)) => online_unit(config, problem, inc, stats),
+        (RoundPolicy::Threshold(policy), Incidence::Unit(inc)) => {
+            Ok(online_threshold(config, problem, inc, policy, stats))
+        }
+        (RoundPolicy::MinBucket, Incidence::Snapshot(rule)) => {
+            Ok(online_snapshot(config, problem, rule, stats))
+        }
+        (RoundPolicy::MinBucket, Incidence::Recompute(rule)) => {
+            Ok(online_recompute(config, problem, rule, stats))
+        }
+        (RoundPolicy::Threshold(_), _) => unreachable!("rejected by validate_combination"),
     }
 }
 
@@ -384,7 +556,7 @@ fn online_unit<P: PeelProblem>(
                 counters: &counters,
                 chain_limit,
             };
-            frontier.par_iter().for_each(|&v| vgc::peel_from(&ctx, v, k));
+            frontier.par_iter().for_each(|&v| vgc::peel_from(&ctx, v, k, k));
             remaining -= counters.chased.load(Ordering::Relaxed) as usize;
             if collect_stats {
                 stats.work += counters.chased_work.load(Ordering::Relaxed);
@@ -401,13 +573,261 @@ fn online_unit<P: PeelProblem>(
     Ok(settled.into_iter().map(AtomicU32::into_inner).collect())
 }
 
-/// Clamped decrement of `slot` while above `k`: returns the replaced
-/// value, or `None` when the value already sits at or below `k` (dead
-/// elements and same-round frontier members are filtered by the clamp,
-/// never by an explicit liveness check).
+/// The generalized CAS clamp loop: lowers `slot` to
+/// `max(proposed(current), floor)`, but only while the current value
+/// sits above the floor and the proposal is an actual decrease.
+/// Returns `(previous, stored)` for the single thread whose update
+/// transitioned the slot, `None` otherwise — dead elements and
+/// same-round frontier members are filtered by the clamp, never by an
+/// explicit liveness check. `floor` is the round's clamp: the current
+/// round `k` under [`RoundPolicy::MinBucket`], the round threshold
+/// under [`RoundPolicy::Threshold`].
+///
+/// The unit decrement ([`clamped_decrement`]) is the `|d| d - 1`
+/// special case; recompute incidences pass the freshly recomputed
+/// priority as a constant proposal.
+#[inline]
+pub(crate) fn clamped_update(
+    slot: &AtomicU32,
+    floor: u32,
+    proposed: impl Fn(u32) -> u32,
+) -> Option<(u32, u32)> {
+    let mut stored = floor;
+    slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+        if d <= floor {
+            return None;
+        }
+        let nd = proposed(d).max(floor);
+        if nd >= d {
+            return None;
+        }
+        stored = nd;
+        Some(nd)
+    })
+    .ok()
+    .map(|prev| (prev, stored))
+}
+
+/// Clamped unit decrement of `slot` while above `k`: returns the
+/// replaced value, or `None` when the value already sits at or below
+/// `k`. The historical hot-path form of [`clamped_update`].
 #[inline]
 pub(crate) fn clamped_decrement(slot: &AtomicU32, k: u32) -> Option<u32> {
-    slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| (d > k).then(|| d - 1)).ok()
+    clamped_update(slot, k, |d| d - 1).map(|(prev, _)| prev)
+}
+
+/// Threshold-batched driver for unit incidences: round `r` computes a
+/// peel threshold `t_r` from the live aggregates, drains every element
+/// at or below it in one bulk bucket step, and cascades the round with
+/// the clamp floored at `t_r` — an element whose priority is dragged
+/// down to the threshold mid-round settles in the same round. Settle
+/// rounds record the round *index*, not the threshold.
+///
+/// Because survivors always end a round with priority `> t_r` (the
+/// clamp only ever stops a decrement exactly at the threshold, and
+/// elements that reach it are peeled), live priorities stay exact
+/// across rounds and the effective thresholds strictly increase:
+/// `max(policy value, floor)` with `floor = t_{r-1} + 1`. Even a
+/// pathological policy therefore terminates — each round either
+/// settles elements or raises the floor, and a threshold at or above
+/// the maximum priority drains everything. VGC applies (the chase
+/// clamps to the threshold); sampling and offline were rejected up
+/// front.
+fn online_threshold<P: PeelProblem>(
+    config: &Config,
+    problem: &P,
+    inc: &dyn UnitIncidence,
+    policy: &dyn ThresholdPolicy,
+    stats: &mut RunStats,
+) -> Vec<u32> {
+    let n = problem.num_elements();
+    let init = problem.init_priorities();
+    let prio: Vec<AtomicU32> = init.iter().map(|&d| AtomicU32::new(d)).collect();
+    let settled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+    let counters = TechniqueCounters::new();
+    let chain_limit = config.techniques.vgc.map_or(0, |v| v.chain_limit);
+
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init);
+    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
+
+    let mut bag = HashBag::new(n);
+    let collect_stats = config.collect_stats;
+    let max_prio = *init.iter().max().unwrap_or(&0);
+    let mut remaining = n;
+    let mut floor_next = 0u32; // lower bound on live priorities
+    let mut round = 0u32;
+    while remaining > 0 {
+        assert!(
+            u64::from(round) <= u64::from(max_prio) + 1,
+            "threshold peeling stalled: {remaining} elements left after round {round}"
+        );
+        let view = LiveView { prio: &prio, settled: &settled };
+        upgrade_adaptive_if_due(
+            &mut bucket,
+            &mut adaptive_pending,
+            floor_next,
+            config.adaptive_theta,
+            n,
+            &view,
+        );
+        // The live aggregates: a threshold run has O(log n) rounds, so
+        // re-scanning the priority array at each boundary is noise next
+        // to the peel itself — and keeps the subround hot path free of
+        // aggregate bookkeeping (survivor priorities are exact, see the
+        // driver docs, so the scan is the true live sum).
+        let priority_sum: u64 = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                if settled[v].load(Ordering::Relaxed) == UNSET {
+                    prio[v].load(Ordering::Relaxed) as u64
+                } else {
+                    0
+                }
+            })
+            .sum();
+        let agg = RoundAggregates { round, remaining, priority_sum, floor: floor_next };
+        let t = policy.threshold(&agg).max(floor_next);
+        let mut frontier = bucket.drain_threshold(t, &view);
+        let mut subrounds = 0u32;
+        while !frontier.is_empty() {
+            subrounds += 1;
+            counters.reset_subround();
+            remaining -= frontier.len();
+            if collect_stats {
+                stats.max_frontier = stats.max_frontier.max(frontier.len());
+                let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                stats.work += (frontier.len() + arcs) as u64;
+            }
+            let ctx = OnlineCtx {
+                problem,
+                inc,
+                prio: &prio,
+                settled: &settled,
+                bag: &bag,
+                bucket: &*bucket,
+                sampling: None,
+                counters: &counters,
+                chain_limit,
+            };
+            frontier.par_iter().for_each(|&v| vgc::peel_from(&ctx, v, round, t));
+            remaining -= counters.chased.load(Ordering::Relaxed) as usize;
+            if collect_stats {
+                stats.work += counters.chased_work.load(Ordering::Relaxed);
+                stats.record_subround(1, counters.chain.get().max(1));
+            }
+            frontier = bag.extract_all();
+        }
+        if collect_stats {
+            stats.record_round(subrounds);
+        }
+        floor_next = t.saturating_add(1);
+        round += 1;
+    }
+    settled.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Two-phase driver for recompute incidences: per subround, stamp the
+/// whole frontier settled (phase 1), then — after the implicit global
+/// barrier — recompute the priorities the deaths may have lowered
+/// against the frozen snapshot and apply them through the generalized
+/// CAS clamp (phase 2). Each affected element is recomputed at most
+/// once per subround (a claim stamp deduplicates targets named by
+/// several deaths), and because `recompute` is a pure function of the
+/// snapshot, the stored value — and the whole decomposition — is
+/// deterministic. Two global syncs per subround in the burdened span;
+/// sampling and offline were rejected up front, VGC does not apply.
+fn online_recompute<P: PeelProblem>(
+    config: &Config,
+    problem: &P,
+    rule: &dyn RecomputeRule,
+    stats: &mut RunStats,
+) -> Vec<u32> {
+    let n = problem.num_elements();
+    let init = problem.init_priorities();
+    let prio: Vec<AtomicU32> = init.iter().map(|&d| AtomicU32::new(d)).collect();
+    let settled: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    // Subround stamps: 0 = never settled; ids start at 1 and never
+    // reset. `claimed` deduplicates per-subround recomputes.
+    let stamps: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let claimed: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut subround_id = 0u32;
+
+    let mut bucket: Box<dyn BucketStructure> = config.bucket_strategy.build(&init);
+    let mut adaptive_pending = matches!(config.bucket_strategy, BucketStrategy::Adaptive);
+
+    let mut bag = HashBag::new(n);
+    let collect_stats = config.collect_stats;
+    let recomputes = AtomicU64::new(0);
+    let max_prio = *init.iter().max().unwrap_or(&0);
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let view = LiveView { prio: &prio, settled: &settled };
+        upgrade_adaptive_if_due(
+            &mut bucket,
+            &mut adaptive_pending,
+            k,
+            config.adaptive_theta,
+            n,
+            &view,
+        );
+        let mut frontier = bucket.next_frontier(k, &view);
+        let mut subrounds = 0u32;
+        while !frontier.is_empty() {
+            subrounds += 1;
+            subround_id += 1;
+            remaining -= frontier.len();
+            if collect_stats {
+                stats.max_frontier = stats.max_frontier.max(frontier.len());
+                recomputes.store(0, Ordering::Relaxed);
+            }
+            // Phase 1: settle — every stamp lands before any recompute.
+            frontier.par_iter().for_each(|&e| {
+                settled[e as usize].store(k, Ordering::Relaxed);
+                stamps[e as usize].store(subround_id, Ordering::Relaxed);
+                problem.on_settle(e, k);
+            });
+            // Phase 2: recompute affected priorities from the snapshot.
+            let sview = SettleView { stamps: &stamps, current: subround_id };
+            frontier.par_iter().for_each(|&e| {
+                let mut local = 0u64;
+                rule.for_each_target(e, &mut |t| {
+                    if stamps[t as usize].load(Ordering::Relaxed) != 0 {
+                        return; // dead or dying alongside e
+                    }
+                    if claimed[t as usize].swap(subround_id, Ordering::Relaxed) == subround_id {
+                        return; // another death already recomputed t
+                    }
+                    local += 1;
+                    let fresh = rule.recompute(t, &sview);
+                    if let Some((prev, stored)) = clamped_update(&prio[t as usize], k, |_| fresh) {
+                        if stored == k {
+                            // t dropped to the round: peeled exactly
+                            // once, in the next subround.
+                            bag.insert(t);
+                        } else {
+                            bucket.on_decrease(t, prev, stored, k);
+                        }
+                    }
+                });
+                if collect_stats && local > 0 {
+                    recomputes.fetch_add(local, Ordering::Relaxed);
+                }
+            });
+            if collect_stats {
+                stats.work += frontier.len() as u64 + recomputes.load(Ordering::Relaxed);
+                stats.record_subround(2, 1);
+            }
+            frontier = bag.extract_all();
+        }
+        if collect_stats {
+            stats.record_round(subrounds);
+        }
+        k += 1;
+    }
+    settled.into_iter().map(AtomicU32::into_inner).collect()
 }
 
 /// Two-phase driver for snapshot rules: per subround, stamp the whole

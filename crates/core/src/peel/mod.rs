@@ -42,5 +42,6 @@ pub mod sampling;
 pub mod vgc;
 
 pub use engine::{
-    ElementState, Incidence, PeelEngine, PeelProblem, SettleView, SnapshotRule, UnitIncidence,
+    ElementState, Incidence, PeelEngine, PeelProblem, RecomputeRule, RoundAggregates, RoundPolicy,
+    SettleView, SnapshotRule, ThresholdPolicy, UnitIncidence,
 };

@@ -61,6 +61,10 @@ pub(crate) fn run<P: PeelProblem>(
     let stamps: Vec<AtomicU32> = match incidence {
         Incidence::Snapshot(_) => (0..n).map(|_| AtomicU32::new(0)).collect(),
         Incidence::Unit(_) => Vec::new(),
+        // The engine rejects offline × recompute before dispatching
+        // (see `validate_combination`): recomputed priorities have no
+        // decrement multiset to histogram.
+        Incidence::Recompute(_) => unreachable!("offline driver rejected for Incidence::Recompute"),
     };
     let mut subround_id = 0u32;
 
@@ -115,6 +119,9 @@ pub(crate) fn run<P: PeelProblem>(
                 Incidence::Snapshot(rule) => {
                     let sview = SettleView::new(&stamps, subround_id);
                     gather_rule(rule, &frontier, k, &sview)
+                }
+                Incidence::Recompute(_) => {
+                    unreachable!("offline driver rejected for Incidence::Recompute")
                 }
             };
             if collect_stats {

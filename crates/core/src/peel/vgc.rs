@@ -29,40 +29,48 @@
 use super::engine::{clamped_decrement, OnlineCtx, PeelProblem};
 use std::sync::atomic::Ordering;
 
-/// Settles `v` at round `k`, processes its removals, and — with VGC
-/// enabled (`ctx.chain_limit > 0`) — chases the local peel chain up to
-/// the chain bound. The plain framework is the `chain_limit == 0` case:
-/// every discovered element goes straight to the hash bag.
-pub(crate) fn peel_from<P: PeelProblem>(ctx: &OnlineCtx<'_, P>, v: u32, k: u32) {
+/// Settles `v` at round `round`, processes its removals, and — with
+/// VGC enabled (`ctx.chain_limit > 0`) — chases the local peel chain
+/// up to the chain bound. The plain framework is the `chain_limit == 0`
+/// case: every discovered element goes straight to the hash bag.
+///
+/// `floor` is the round's clamp value: equal to `round` under
+/// [`crate::RoundPolicy::MinBucket`] (the historical behavior), the
+/// round's peel threshold under [`crate::RoundPolicy::Threshold`] —
+/// there an element dragged down to the *threshold* settles in the
+/// current round even though its recorded settle round is the round
+/// index.
+pub(crate) fn peel_from<P: PeelProblem>(ctx: &OnlineCtx<'_, P>, v: u32, round: u32, floor: u32) {
     let mut pending: Vec<u32> = Vec::new();
     let mut chased = 0u64;
     let mut chased_work = 0u64;
     let limit = ctx.chain_limit as u64;
     let mut cur = v;
     loop {
-        ctx.settled[cur as usize].store(k, Ordering::Relaxed);
-        ctx.problem.on_settle(cur, k);
+        ctx.settled[cur as usize].store(round, Ordering::Relaxed);
+        ctx.problem.on_settle(cur, round);
         for &u in ctx.inc.incident(cur) {
             if let Some(s) = ctx.sampling {
                 if s.in_sample_mode(u) {
-                    s.on_neighbor_removed(cur, u, k, ctx);
+                    s.on_neighbor_removed(cur, u, floor, ctx);
                     continue;
                 }
             }
-            // Clamped decrement: only while above k. Dead elements
-            // already sit at their (lower) peel round, so the guard
-            // also excludes them.
-            if let Some(prev) = clamped_decrement(&ctx.prio[u as usize], k) {
-                if prev == k + 1 {
-                    // This thread moved u to k: u is peeled exactly
-                    // once — chased locally under VGC, else via the bag.
+            // Clamped decrement: only while above the floor. Dead
+            // elements already sit at or below it, so the guard also
+            // excludes them.
+            if let Some(prev) = clamped_decrement(&ctx.prio[u as usize], floor) {
+                if prev == floor + 1 {
+                    // This thread moved u to the floor: u is peeled
+                    // exactly once — chased locally under VGC, else via
+                    // the bag.
                     if chased < limit {
                         pending.push(u);
                     } else {
                         ctx.bag.insert(u);
                     }
                 } else {
-                    ctx.bucket.on_decrease(u, prev, prev - 1, k);
+                    ctx.bucket.on_decrease(u, prev, prev - 1, floor);
                 }
             }
         }

@@ -11,6 +11,12 @@
 //!   client that exercises the two-phase driver.
 //! * [`densest`] — min-degree peeling with running density tracking;
 //!   Charikar's greedy 2-approximation at round granularity.
+//! * [`khcore`] — (k,h)-core / distance-generalized core; the
+//!   recompute-incidence client, h-hop ball priorities recomputed over
+//!   survivors through the generalized CAS clamp.
+//! * [`approx_densest`] — (2+ε)-approximate densest subgraph; the
+//!   threshold-policy client, peeling everything at or below
+//!   `(1+ε/2)·`avg-degree per round in `O(log₁₊ε n)` rounds.
 //!
 //! ## Adding a problem
 //!
@@ -22,16 +28,31 @@
 //!    sampling + VGC for free), [`crate::Incidence::Snapshot`] if the
 //!    rule needs to observe settle states (you get the two-phase
 //!    driver; make the rule deterministic under the snapshot and
-//!    tie-break shared charges by element id).
-//! 3. Assemble your result from the per-element settle rounds.
-//! 4. Wrap a facade that applies [`crate::Config::apply_env_overrides`]
-//!    and test against a sequential oracle across all bucket
+//!    tie-break shared charges by element id), or
+//!    [`crate::Incidence::Recompute`] if a death invalidates incident
+//!    priorities outright (emit a superset of affected elements and
+//!    recompute each from the settle snapshot; the engine deduplicates
+//!    and clamps).
+//! 3. Pick the round structure via [`crate::PeelProblem::round_policy`]:
+//!    the default [`crate::RoundPolicy::MinBucket`] peels exact
+//!    priorities; [`crate::RoundPolicy::Threshold`] batches whole
+//!    priority ranges from a threshold you compute out of the live
+//!    [`crate::RoundAggregates`] (unit incidences only — see
+//!    [`approx_densest`] for the worked example).
+//! 4. Assemble your result from the per-element settle rounds.
+//! 5. Wrap a facade that applies [`crate::Config::apply_env_overrides`]
+//!    — or its `_filtered` variant when your axes reject sampling or
+//!    offline — and test against a sequential oracle across all bucket
 //!    strategies (see `tests/proptest_problems.rs`).
 
+pub mod approx_densest;
 pub mod densest;
 pub mod kcore;
+pub mod khcore;
 pub mod ktruss;
 
+pub use approx_densest::{ApproxDensest, ApproxDensestResult, SWEPT_EPSILONS};
 pub use densest::{sequential_greedy_density, DensestResult, DensestSubgraph};
 pub use kcore::KCore;
+pub use khcore::{sequential_kh_coreness, KhCore, KhCoreResult};
 pub use ktruss::{sequential_trussness, KTruss, TrussnessResult};

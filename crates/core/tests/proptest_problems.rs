@@ -11,16 +11,25 @@
 //! * **k-core on the engine** must stay bit-identical to the
 //!   Batagelj–Zaveršnik oracle (the pre-refactor implementation was
 //!   verified against BZ on exactly these families, so BZ equality is
-//!   the bit-compatibility witness).
+//!   the bit-compatibility witness), and the `RoundPolicy::MinBucket`
+//!   runs of k-core/k-truss/densest must reproduce the PR 4 run-stats
+//!   snapshot exactly (the policy refactor may not perturb the
+//!   historical round structure).
+//! * **(k,h)-core** must agree vertex-for-vertex with its sequential
+//!   ball-recount oracle across every bucket strategy.
+//! * **approx densest** must satisfy the (2+ε) sandwich
+//!   `oracle/(2+ε) <= parallel <= oracle` for every swept ε.
 //!
 //! Facades are constructed with `new` (not `with_exact_config`), so the
 //! `KCORE_TECHNIQUES` CI matrix legs push the forced techniques through
-//! every one of these assertions.
+//! every one of these assertions (the threshold/recompute facades
+//! filter the inapplicable tokens at the door — that path is exercised
+//! here too).
 
 use kcore::bz::bz_coreness;
 use kcore::{
-    sequential_greedy_density, sequential_trussness, BucketStrategy, Config, DensestSubgraph,
-    KCore, KTruss, Techniques,
+    sequential_greedy_density, sequential_kh_coreness, sequential_trussness, ApproxDensest,
+    BucketStrategy, Config, DensestSubgraph, KCore, KTruss, KhCore, Techniques,
 };
 use kcore_graph::{gen, CsrGraph, GraphBuilder};
 use proptest::prelude::*;
@@ -93,6 +102,40 @@ fn assert_densest_sandwich(g: &CsrGraph) {
     }
 }
 
+/// The ε values the approx-densest sweep runs everywhere (tests and
+/// benches alike) — one shared list, see its definition.
+const EPSILONS: [f64; 3] = kcore::SWEPT_EPSILONS;
+
+fn assert_khcore_matches_oracle(g: &CsrGraph, h: u32) {
+    let want = sequential_kh_coreness(g, h);
+    for strategy in all_strategies() {
+        let got = KhCore::new(Config::with_strategy(strategy), h).run(g);
+        assert_eq!(
+            got.kh_coreness(),
+            want.as_slice(),
+            "(k,{h})-core under {strategy} disagrees with the ball-recount oracle"
+        );
+    }
+}
+
+fn assert_approx_densest_sandwich(g: &CsrGraph) {
+    let oracle = sequential_greedy_density(g);
+    for eps in EPSILONS {
+        for strategy in all_strategies() {
+            let r = ApproxDensest::new(Config::with_strategy(strategy), eps).run(g);
+            let got = r.density();
+            assert!(
+                got <= oracle + 1e-9,
+                "{strategy}/eps {eps}: parallel {got} exceeds the finer greedy {oracle}"
+            );
+            assert!(
+                got * (2.0 + eps) + 1e-9 >= oracle,
+                "{strategy}/eps {eps}: parallel {got} below oracle/(2+eps) ({oracle})"
+            );
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn ktruss_matches_recount_oracle(g in arb_graph()) {
@@ -112,6 +155,46 @@ proptest! {
     #[test]
     fn densest_sandwich_on_powerlaw(n in 10usize..80, seed in any::<u64>()) {
         assert_densest_sandwich(&gen::barabasi_albert(n, 2.min(n - 1), seed));
+    }
+
+    #[test]
+    fn khcore_matches_ball_recount_oracle(g in arb_graph(), h in 1u32..4) {
+        assert_khcore_matches_oracle(&g, h);
+    }
+
+    #[test]
+    fn khcore_on_powerlaw_matches_oracle(n in 10usize..40, seed in any::<u64>()) {
+        assert_khcore_matches_oracle(&gen::barabasi_albert(n, 2.min(n - 1), seed), 2);
+    }
+
+    #[test]
+    fn approx_densest_sandwich_on_arbitrary_graphs(g in arb_graph()) {
+        assert_approx_densest_sandwich(&g);
+    }
+
+    #[test]
+    fn approx_densest_sandwich_on_powerlaw(n in 10usize..80, seed in any::<u64>()) {
+        assert_approx_densest_sandwich(&gen::barabasi_albert(n, 2.min(n - 1), seed));
+    }
+
+    #[test]
+    fn approx_densest_rounds_shrink_with_epsilon(n in 50usize..200, seed in any::<u64>()) {
+        let g = gen::barabasi_albert(n, 3.min(n - 1), seed);
+        let rounds: Vec<u64> = EPSILONS
+            .iter()
+            .map(|&eps| ApproxDensest::new(Config::default(), eps).run(&g).num_rounds())
+            .collect();
+        prop_assert!(
+            rounds.windows(2).all(|w| w[1] <= w[0]),
+            "rounds must shrink as eps grows: {:?}", rounds
+        );
+        for (&eps, &r) in EPSILONS.iter().zip(&rounds) {
+            let bound = (n as f64).ln() / (1.0 + eps / 2.0).ln() + 2.0;
+            prop_assert!(
+                (r as f64) <= bound,
+                "eps {}: {} rounds exceeds the O(log n / log(1+eps/2)) bound {:.1}", eps, r, bound
+            );
+        }
     }
 
     #[test]
@@ -158,6 +241,143 @@ fn engine_kcore_bit_identical_on_seed_generators() {
         for strategy in all_strategies() {
             let got = KCore::new(Config::with_strategy(strategy)).run(g);
             assert_eq!(got.coreness(), want.as_slice(), "{label} under {strategy}");
+        }
+    }
+}
+
+/// PR 4 run-stats snapshot for the seed generators under the default
+/// (technique-free) config: per problem,
+/// `[rounds, subrounds, global_syncs, work, max_frontier, burdened_span]`.
+/// Captured from the pre-`RoundPolicy` engine (commit 25f2ef3), where
+/// these quantities were verified deterministic across
+/// `RAYON_NUM_THREADS` ∈ {1, 4}; the Single and Adaptive strategies
+/// produce identical stats on every one of these inputs.
+const PR4_STATS: &[(&str, [[u64; 6]; 3])] = &[
+    ("path", [[2, 20, 20, 118, 2, 300020], [2, 20, 20, 118, 2, 300020], [1, 1, 2, 39, 39, 30001]]),
+    ("cycle", [[3, 1, 1, 99, 33, 15001], [3, 1, 1, 99, 33, 15001], [1, 1, 2, 33, 33, 30001]]),
+    ("star", [[2, 2, 2, 193, 64, 30002], [2, 2, 2, 193, 64, 30002], [1, 1, 2, 64, 64, 30001]]),
+    (
+        "complete",
+        [[20, 1, 1, 400, 20, 15001], [20, 1, 1, 400, 20, 15001], [19, 1, 2, 190, 190, 30001]],
+    ),
+    ("bipartite", [[5, 2, 2, 85, 9, 30002], [5, 2, 2, 85, 9, 30002], [1, 1, 2, 36, 36, 30001]]),
+    (
+        "grid2d",
+        [[3, 20, 20, 1958, 34, 300020], [3, 20, 20, 1958, 34, 300020], [1, 1, 2, 775, 775, 30001]],
+    ),
+    (
+        "grid3d",
+        [[4, 9, 9, 2060, 72, 135009], [4, 9, 9, 2060, 72, 135009], [1, 1, 2, 862, 862, 30001]],
+    ),
+    (
+        "mesh",
+        [
+            [4, 14, 14, 1457, 32, 210014],
+            [4, 14, 14, 1457, 32, 210014],
+            [2, 14, 28, 1400, 80, 420014],
+        ],
+    ),
+    (
+        "road",
+        [[3, 15, 15, 1740, 65, 225015], [3, 15, 15, 1740, 65, 225015], [2, 3, 6, 710, 546, 90003]],
+    ),
+    (
+        "erdos_renyi",
+        [[5, 15, 15, 2080, 49, 225015], [5, 15, 15, 2080, 49, 225015], [2, 3, 6, 898, 780, 90003]],
+    ),
+    (
+        "barabasi_albert",
+        [
+            [4, 15, 15, 2788, 150, 225015],
+            [4, 15, 15, 2788, 150, 225015],
+            [3, 7, 14, 1446, 820, 210007],
+        ],
+    ),
+    (
+        "rmat",
+        [
+            [21, 47, 47, 6140, 87, 705047],
+            [21, 47, 47, 6140, 87, 705047],
+            [13, 74, 148, 17803, 268, 2220074],
+        ],
+    ),
+    (
+        "knn",
+        [[5, 4, 4, 1478, 107, 60004], [5, 4, 4, 1478, 107, 60004], [4, 9, 18, 996, 171, 270009]],
+    ),
+    (
+        "planted_core",
+        [
+            [40, 16, 16, 2534, 83, 240016],
+            [40, 16, 16, 2534, 83, 240016],
+            [39, 9, 18, 1353, 780, 270009],
+        ],
+    ),
+    (
+        "hcns",
+        [
+            [41, 40, 40, 3280, 41, 600040],
+            [41, 40, 40, 3280, 41, 600040],
+            [40, 40, 80, 11480, 820, 1200040],
+        ],
+    ),
+];
+
+fn seed_graph(label: &str) -> CsrGraph {
+    match label {
+        "path" => gen::path(40),
+        "cycle" => gen::cycle(33),
+        "star" => gen::star(65),
+        "complete" => gen::complete(20),
+        "bipartite" => gen::complete_bipartite(4, 9),
+        "grid2d" => gen::grid2d(24, 17),
+        "grid3d" => gen::grid3d(6, 7, 8),
+        "mesh" => gen::mesh(15, 15),
+        "road" => gen::road(20, 20, 0.15, 0.1, 7),
+        "erdos_renyi" => gen::erdos_renyi(300, 900, 3),
+        "barabasi_albert" => gen::barabasi_albert(400, 3, 11),
+        "rmat" => gen::rmat(9, 8, 0.57, 0.19, 0.19, 5),
+        "knn" => gen::knn(250, 4, 13),
+        "planted_core" => gen::planted_core(200, 2, 40, 9),
+        "hcns" => gen::hcns(40),
+        other => panic!("unknown seed generator {other}"),
+    }
+}
+
+/// The stats half of the bit-identity guard: under
+/// `RoundPolicy::MinBucket` (every problem's default), the refactored
+/// engine must reproduce the PR 4 round structure *exactly* — rounds,
+/// subrounds, syncs, work, frontier peaks, and burdened span — for
+/// k-core, densest-subgraph, and k-truss on the seed generators.
+/// `with_exact_config` bypasses the env override on purpose: the
+/// snapshot describes the technique-free baseline.
+#[test]
+fn minbucket_stats_match_the_pr4_snapshot() {
+    for strategy in [BucketStrategy::Single, BucketStrategy::Adaptive] {
+        for (label, want) in PR4_STATS {
+            let g = seed_graph(label);
+            let config = Config { bucket_strategy: strategy, ..Config::default() };
+            let kc = KCore::with_exact_config(config).run(&g);
+            let de = DensestSubgraph::with_exact_config(config).run(&g);
+            let kt = KTruss::with_exact_config(config).run(&g);
+            for (name, stats, snap) in [
+                ("k-core", kc.stats(), &want[0]),
+                ("densest", de.stats(), &want[1]),
+                ("k-truss", kt.stats(), &want[2]),
+            ] {
+                let got = [
+                    stats.rounds,
+                    stats.subrounds,
+                    stats.global_syncs,
+                    stats.work,
+                    stats.max_frontier as u64,
+                    stats.burdened_span,
+                ];
+                assert_eq!(
+                    &got, snap,
+                    "{label}/{name} under {strategy}: stats drifted from the PR 4 snapshot"
+                );
+            }
         }
     }
 }

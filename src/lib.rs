@@ -12,10 +12,13 @@
 //! The framework is not k-core-specific: the workspace factors it into
 //! a problem-agnostic **peel engine** (`kcore::PeelEngine` +
 //! `kcore::PeelProblem`) with k-core as its first client, plus
-//! **k-truss** decomposition (edge peeling by triangle support) and
+//! **k-truss** decomposition (edge peeling by triangle support),
 //! **greedy densest subgraph** (min-degree peeling with running density
-//! tracking, a 2-approximation) on the same engine, techniques, and
-//! bucket structures.
+//! tracking, a 2-approximation), the **(k,h)-core**
+//! (distance-generalized cores with recomputed h-hop priorities), and
+//! the batched **(2+ε)-approximate densest subgraph**
+//! (threshold-batched rounds, `O(log₁₊ε n)` of them) on the same
+//! engine, techniques, and bucket structures.
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
@@ -46,6 +49,14 @@
 //! // The same engine peels edges and tracks densities.
 //! assert_eq!(KTruss::new(Config::default()).run(&g).max_trussness(), 2);
 //! assert!(DensestSubgraph::new(Config::default()).run(&g).density() > 1.9);
+//!
+//! // ...and runs other round structures: threshold-batched rounds
+//! // ((2+ε)-approx densest, O(log n) rounds) and recomputed h-hop
+//! // priorities (the (k,h)-core).
+//! use parallel_kcore::core::{ApproxDensest, KhCore};
+//! let approx = ApproxDensest::new(Config::default(), 0.5).run(&g);
+//! assert!(approx.density() * 2.5 >= 1.9);
+//! assert!(KhCore::new(Config::default(), 2).run(&g).kmax() >= 2);
 //! ```
 pub use kcore as core;
 pub use kcore_buckets as buckets;
@@ -55,8 +66,8 @@ pub use kcore_parallel as parallel;
 /// Convenience re-export of the most common entry points.
 pub mod prelude {
     pub use kcore::{
-        Config, CorenessResult, DensestResult, DensestSubgraph, KCore, KTruss, PeelEngine,
-        PeelProblem, TrussnessResult,
+        ApproxDensest, ApproxDensestResult, Config, CorenessResult, DensestResult, DensestSubgraph,
+        KCore, KTruss, KhCore, KhCoreResult, PeelEngine, PeelProblem, TrussnessResult,
     };
     pub use kcore_graph::{CsrGraph, EdgeIndex, GraphBuilder, VertexId};
 }
