@@ -4,7 +4,7 @@
 //! high `k_max`, and a grid for the sparse regime.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{BucketStrategy, Config, KCore};
+use kcore::{BucketStrategy, Config, Decomposition};
 use kcore_graph::gen;
 
 fn bench_strategies(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_strategies(c: &mut Criterion) {
         for strategy in strategies {
             let config = Config { collect_stats: false, ..Config::with_strategy(strategy) };
             c.bench_function(&format!("buckets/{name}/{strategy}"), |b| {
-                b.iter(|| black_box(KCore::new(config).run(g)))
+                b.iter(|| black_box(Decomposition::kcore(g).config(config).run()))
             });
         }
     }

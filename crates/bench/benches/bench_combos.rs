@@ -3,7 +3,7 @@
 //! from once sampling and VGC land.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{BucketStrategy, Config, KCore};
+use kcore::{BucketStrategy, Config, Decomposition};
 use kcore_bench::standard_suite;
 
 fn bench_combos(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench_combos(c: &mut Criterion) {
                 let config = Config { collect_stats, ..Config::with_strategy(strategy) };
                 let stats = if collect_stats { "stats" } else { "nostats" };
                 c.bench_function(&format!("combos/{}/{strategy}/{stats}", bg.name), |b| {
-                    b.iter(|| black_box(KCore::new(config).run(&bg.graph)))
+                    b.iter(|| black_box(Decomposition::kcore(&bg.graph).config(config).run()))
                 });
             }
         }

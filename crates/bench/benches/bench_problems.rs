@@ -14,7 +14,7 @@
 //! in `tests/proptest_problems.rs`): larger ε → fewer, fatter rounds.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{ApproxDensest, Config, DensestSubgraph, KCore, KTruss, KhCore, Techniques};
+use kcore::{Config, Decomposition, Techniques};
 use kcore_graph::triangles::edge_supports;
 use kcore_graph::{gen, EdgeIndex};
 
@@ -27,13 +27,13 @@ fn bench_problems(c: &mut Criterion) {
     let config = Config { collect_stats: false, ..Config::default() };
     for (name, g) in &graphs {
         c.bench_function(&format!("problems/{name}/kcore"), |b| {
-            b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+            b.iter(|| black_box(Decomposition::kcore(g).exact_config(config).run()))
         });
         c.bench_function(&format!("problems/{name}/densest"), |b| {
-            b.iter(|| black_box(DensestSubgraph::with_exact_config(config).run(g)))
+            b.iter(|| black_box(Decomposition::densest(g).exact_config(config).run()))
         });
         c.bench_function(&format!("problems/{name}/ktruss"), |b| {
-            b.iter(|| black_box(KTruss::with_exact_config(config).run(g)))
+            b.iter(|| black_box(Decomposition::ktruss(g).exact_config(config).run()))
         });
         c.bench_function(&format!("problems/{name}/ktruss-setup"), |b| {
             b.iter(|| {
@@ -43,7 +43,9 @@ fn bench_problems(c: &mut Criterion) {
         });
         for eps in kcore::SWEPT_EPSILONS {
             c.bench_function(&format!("problems/{name}/approx-densest-eps{eps}"), |b| {
-                b.iter(|| black_box(ApproxDensest::with_exact_config(config, eps).run(g)))
+                b.iter(|| {
+                    black_box(Decomposition::approx_densest(g, eps).exact_config(config).run())
+                })
             });
         }
     }
@@ -53,7 +55,7 @@ fn bench_problems(c: &mut Criterion) {
     // balls span the graph and would measure the BFS, not the engine.
     for (name, g) in [&graphs[1], &graphs[2]] {
         c.bench_function(&format!("problems/{name}/khcore-h2"), |b| {
-            b.iter(|| black_box(KhCore::with_exact_config(config, 2).run(g)))
+            b.iter(|| black_box(Decomposition::khcore(g, 2).exact_config(config).run()))
         });
     }
     // Offline driver comparison on one representative.
@@ -61,10 +63,10 @@ fn bench_problems(c: &mut Criterion) {
     let offline =
         Config { collect_stats: false, techniques: Techniques::offline(), ..Config::default() };
     c.bench_function(&format!("problems/{name}/kcore-offline"), |b| {
-        b.iter(|| black_box(KCore::with_exact_config(offline).run(g)))
+        b.iter(|| black_box(Decomposition::kcore(g).exact_config(offline).run()))
     });
     c.bench_function(&format!("problems/{name}/ktruss-offline"), |b| {
-        b.iter(|| black_box(KTruss::with_exact_config(offline).run(g)))
+        b.iter(|| black_box(Decomposition::ktruss(g).exact_config(offline).run()))
     });
 }
 

@@ -28,7 +28,7 @@
 //! `kcore_parallel::pool::scheduler_delta`.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{Config, KCore, Techniques};
+use kcore::{Config, Decomposition, Techniques};
 use kcore_graph::{gen, CsrGraph};
 use kcore_parallel::pool::{scheduler_delta, with_threads};
 use rayon::prelude::*;
@@ -51,7 +51,8 @@ fn bench_scalability(c: &mut Criterion) {
         for (vname, techniques) in variants {
             // Model-predicted speedup from one instrumented run: the
             // Fig. 10 curve the measured sweep is compared against.
-            let instrumented = KCore::with_exact_config(Config::with_techniques(techniques)).run(g);
+            let instrumented =
+                Decomposition::kcore(g).exact_config(Config::with_techniques(techniques)).run();
             let stats = instrumented.stats();
             let predicted: Vec<String> = MODEL_CORES
                 .iter()
@@ -65,7 +66,7 @@ fn bench_scalability(c: &mut Criterion) {
                     // The pool lives outside the timing loop: iterations
                     // measure the decomposition, not thread spawn/join.
                     with_threads(threads, || {
-                        b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+                        b.iter(|| black_box(Decomposition::kcore(g).exact_config(config).run()))
                     })
                 });
             }

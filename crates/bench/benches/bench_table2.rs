@@ -2,14 +2,14 @@
 //! complexity rho) across every graph family, default configuration.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{Config, KCore};
+use kcore::{Config, Decomposition};
 use kcore_bench::standard_suite;
 
 fn bench_families(c: &mut Criterion) {
     for bg in standard_suite() {
         // Print the table row once (n, m, k_max, rho) so bench output
         // doubles as the Tab. 2 data source.
-        let result = KCore::new(Config::default()).run(&bg.graph);
+        let result = Decomposition::kcore(&bg.graph).run();
         println!(
             "table2: {:<20} n={:<8} m={:<9} kmax={:<5} rho={}",
             bg.name,
@@ -20,7 +20,7 @@ fn bench_families(c: &mut Criterion) {
         );
         let config = Config { collect_stats: false, ..Config::default() };
         c.bench_function(&format!("table2/{}", bg.name), |b| {
-            b.iter(|| black_box(KCore::new(config).run(&bg.graph)))
+            b.iter(|| black_box(Decomposition::kcore(&bg.graph).config(config).run()))
         });
     }
 }

@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, Criterion};
 use kcore::bz::bz_coreness;
-use kcore::{Config, KCore, Sampling, Techniques, Vgc};
+use kcore::{Config, Decomposition, Sampling, Techniques, Vgc};
 use kcore_graph::gen;
 
 fn variants() -> Vec<(&'static str, Techniques)> {
@@ -32,7 +32,7 @@ fn bench_technique_ablation(c: &mut Criterion) {
             // must not silently rewrite the ablation rows.
             let config = Config { collect_stats: false, techniques, ..Config::default() };
             c.bench_function(&format!("techniques/{name}/{vname}"), |b| {
-                b.iter(|| black_box(KCore::with_exact_config(config).run(g)))
+                b.iter(|| black_box(Decomposition::kcore(g).exact_config(config).run()))
             });
         }
         c.bench_function(&format!("techniques/{name}/bz-sequential"), |b| {

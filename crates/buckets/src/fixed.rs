@@ -9,7 +9,7 @@
 //! `b = 16`.
 //!
 //! Duplicate-freedom argument: a vertex enters bucket `key` only when its
-//! induced degree becomes exactly `key` (degrees decrease monotonically
+//! priority becomes exactly `key` (priorities decrease monotonically
 //! and atomic decrements return distinct values, so each `(v, key)` pair
 //! occurs at most once), or once per window rebuild. Stale copies — the
 //! vertex peeled earlier or moved lower — are filtered at extraction by
@@ -32,13 +32,13 @@ pub struct FixedBuckets {
 
 impl FixedBuckets {
     /// Creates the structure with window width `b` over all vertices.
-    pub fn new(degrees: &[u32], b: u32) -> Self {
+    pub fn new(priorities: &[u32], b: u32) -> Self {
         assert!(b >= 1, "window width must be at least 1");
         Self {
             base: 0,
             built: false,
             buckets: (0..b).map(|_| SegQueue::new()).collect(),
-            overflow: (0..degrees.len() as u32).collect(),
+            overflow: (0..priorities.len() as u32).collect(),
             b,
         }
     }

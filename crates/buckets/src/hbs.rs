@@ -1,7 +1,7 @@
 //! The hierarchical bucketing structure (HBS, paper Sec. 5.2).
 //!
 //! HBS manages the active set as a monotone radix heap over induced
-//! degrees: relative to a moving anchor `base`, the first
+//! priorities: relative to a moving anchor `base`, the first
 //! [`NUM_SINGLE`] buckets each hold one exact key (`base`, `base + 1`,
 //! ...), and the buckets after them hold exponentially growing key
 //! ranges (`[base + 8, base + 16)`, `[base + 16, base + 32)`, ...).
@@ -54,9 +54,9 @@ pub struct HierarchicalBuckets {
 
 impl HierarchicalBuckets {
     /// Builds the structure over all vertices with the given initial
-    /// keys (`degrees[v]` is vertex `v`'s starting induced degree).
-    pub fn new(degrees: &[u32]) -> Self {
-        Self::with_entries(0, degrees.iter().copied().enumerate().map(|(v, d)| (v as u32, d)))
+    /// keys (`priorities[v]` is element `v`'s starting priority).
+    pub fn new(priorities: &[u32]) -> Self {
+        Self::with_entries(0, priorities.iter().copied().enumerate().map(|(v, d)| (v as u32, d)))
     }
 
     /// Builds the structure anchored at `base` from explicit

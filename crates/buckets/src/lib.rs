@@ -51,16 +51,6 @@ pub trait PriorityView: Sync {
     fn alive(&self, v: u32) -> bool;
 }
 
-/// Backwards-compatible alias from the era when the only peeling
-/// problem was k-core and the priority was always an induced degree.
-/// Same trait, older name. Deprecated: every in-tree use has migrated
-/// to [`PriorityView`]; the alias remains only so external callers
-/// written against the pre-rename API keep compiling, and it will be
-/// removed once they have had a release to migrate.
-#[doc(hidden)]
-#[deprecated(note = "renamed to `PriorityView`; the alias will be removed")]
-pub use PriorityView as DegreeView;
-
 /// A structure producing per-round initial frontiers for peeling.
 ///
 /// Contract expected by the `kcore` peel engine (any [`PeelProblem`]
@@ -149,17 +139,18 @@ pub enum BucketStrategy {
 }
 
 impl BucketStrategy {
-    /// Instantiates the strategy for a graph whose initial keys are
-    /// `degrees`.
-    pub fn build(self, degrees: &[u32]) -> Box<dyn BucketStructure> {
+    /// Instantiates the strategy over elements whose initial priorities
+    /// are `priorities` (induced degrees for k-core, triangle supports
+    /// for k-truss, ...).
+    pub fn build(self, priorities: &[u32]) -> Box<dyn BucketStructure> {
         match self {
-            BucketStrategy::Single => Box::new(SingleBucket::new(degrees)),
-            BucketStrategy::Fixed(b) => Box::new(FixedBuckets::new(degrees, b)),
-            BucketStrategy::Hierarchical => Box::new(HierarchicalBuckets::new(degrees)),
+            BucketStrategy::Single => Box::new(SingleBucket::new(priorities)),
+            BucketStrategy::Fixed(b) => Box::new(FixedBuckets::new(priorities, b)),
+            BucketStrategy::Hierarchical => Box::new(HierarchicalBuckets::new(priorities)),
             // Adaptive switching is orchestrated by the framework (it
-            // owns the live degree state needed to rebuild); it starts
+            // owns the live priority state needed to rebuild); it starts
             // with a single bucket.
-            BucketStrategy::Adaptive => Box::new(SingleBucket::new(degrees)),
+            BucketStrategy::Adaptive => Box::new(SingleBucket::new(priorities)),
         }
     }
 }
@@ -180,7 +171,7 @@ pub(crate) mod testutil {
     use super::PriorityView;
     use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
-    /// A mutable degree table for driving bucket structures in tests.
+    /// A mutable priority table for driving bucket structures in tests.
     pub struct TestView {
         pub keys: Vec<AtomicU32>,
         pub dead: Vec<AtomicBool>,

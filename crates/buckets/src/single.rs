@@ -17,8 +17,8 @@ pub struct SingleBucket {
 impl SingleBucket {
     /// Builds the structure over all vertices with the given initial
     /// keys (only the count matters; keys are re-read via the view).
-    pub fn new(degrees: &[u32]) -> Self {
-        Self { active: (0..degrees.len() as u32).collect() }
+    pub fn new(priorities: &[u32]) -> Self {
+        Self { active: (0..priorities.len() as u32).collect() }
     }
 
     /// Rebuilds from an explicit active list (used by the adaptive

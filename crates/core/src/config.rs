@@ -3,8 +3,7 @@
 use kcore_buckets::BucketStrategy;
 
 /// Configuration for a [`crate::PeelEngine`] run — shared by every
-/// problem facade ([`crate::KCore`], [`crate::KTruss`],
-/// [`crate::DensestSubgraph`]).
+/// problem behind the [`crate::Decomposition`] builder.
 ///
 /// The defaults reproduce the paper's final design: the adaptive
 /// bucketing strategy (plain scanning until the θ-core, HBS beyond it)
@@ -14,12 +13,12 @@ use kcore_buckets::BucketStrategy;
 /// the techniques through [`Config::techniques`]:
 ///
 /// ```
-/// use kcore::{Config, KCore, Techniques};
+/// use kcore::{Config, Decomposition, Techniques};
 /// use kcore_graph::gen;
 ///
 /// let g = gen::barabasi_albert(2000, 4, 7);
 /// let config = Config { techniques: Techniques::all_online(), ..Config::default() };
-/// let result = KCore::with_exact_config(config).run(&g);
+/// let result = Decomposition::kcore(&g).exact_config(config).run();
 /// assert!(result.stats().sampled_vertices > 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

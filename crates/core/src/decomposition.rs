@@ -1,0 +1,322 @@
+//! The unified decomposition facade.
+//!
+//! Every decomposition in this crate is launched the same way: pick the
+//! problem, optionally adjust the configuration, run.
+//!
+//! ```
+//! use kcore::{BucketStrategy, Config, Decomposition};
+//! use kcore_graph::gen;
+//!
+//! let g = gen::grid2d(40, 40);
+//!
+//! // A 40x40 grid is a 2-core once the boundary peels inward.
+//! let coreness = Decomposition::kcore(&g).run();
+//! assert_eq!(coreness.kmax(), 2);
+//!
+//! // Same entry point for every problem; builder methods tweak the
+//! // config without spelling out a whole `Config`.
+//! let truss = Decomposition::ktruss(&g).strategy(BucketStrategy::Hierarchical).run();
+//! assert_eq!(truss.max_trussness(), 2, "grids are triangle-free");
+//! assert!(Decomposition::densest(&g).run().density() > 1.9);
+//! assert!(Decomposition::approx_densest(&g, 0.5).run().density() * 2.5 >= 1.9);
+//! assert!(Decomposition::khcore(&g, 2).run().kmax() >= 2);
+//! ```
+//!
+//! This replaces the per-problem constructor sprawl (`KCore::new`,
+//! `KTruss::new`, ...), each of which hand-rolled the same env/config
+//! handling; those entry points remain as thin deprecated shims for one
+//! release.
+//!
+//! # Configuration resolution
+//!
+//! [`Decomposition::config`] (or the field shortcuts
+//! [`Decomposition::strategy`] / [`Decomposition::techniques`]) applies
+//! the `KCORE_TECHNIQUES` environment override at [`Decomposition::run`]
+//! — filtered to the techniques the chosen problem supports, so CI's
+//! forced-techniques matrix reaches every code path without panicking on
+//! inapplicable tokens. [`Decomposition::exact_config`] opts out of the
+//! override for callers (and tests) that assert technique-specific
+//! behavior.
+
+use crate::config::Techniques;
+use crate::problems::{approx_densest, densest, kcore, khcore, ktruss};
+use crate::{
+    ApproxDensestResult, Config, CorenessResult, DensestResult, KhCoreResult, TrussnessResult,
+};
+use kcore_buckets::BucketStrategy;
+use kcore_graph::CsrGraph;
+
+/// Problem selector for k-core (see [`Decomposition::kcore`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KcoreSpec(());
+
+/// Problem selector for k-truss (see [`Decomposition::ktruss`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KtrussSpec(());
+
+/// Problem selector for greedy densest subgraph (see
+/// [`Decomposition::densest`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DensestSpec(());
+
+/// Problem selector for the (k,h)-core (see [`Decomposition::khcore`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KhCoreSpec {
+    h: u32,
+}
+
+/// Problem selector for the batched (2+ε)-approximate densest subgraph
+/// (see [`Decomposition::approx_densest`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxDensestSpec {
+    epsilon: f64,
+}
+
+/// A decomposition about to run: one graph, one problem, one
+/// configuration. Construct through the problem selectors
+/// ([`Decomposition::kcore`], [`Decomposition::ktruss`],
+/// [`Decomposition::densest`], [`Decomposition::khcore`],
+/// [`Decomposition::approx_densest`]), then `run`.
+///
+/// For a *maintained* k-core decomposition under edge batches, see
+/// [`crate::maintain::DynamicGraph`] instead.
+#[derive(Debug, Clone)]
+#[must_use = "a Decomposition does nothing until `run`"]
+pub struct Decomposition<'g, P> {
+    g: &'g CsrGraph,
+    problem: P,
+    config: Config,
+    exact: bool,
+}
+
+impl<'g, P> Decomposition<'g, P> {
+    fn with(g: &'g CsrGraph, problem: P) -> Self {
+        Self { g, problem, config: Config::default(), exact: false }
+    }
+
+    /// Replaces the whole configuration (bucket strategy, techniques,
+    /// stats collection). The `KCORE_TECHNIQUES` environment override
+    /// still applies at `run`; use [`Decomposition::exact_config`] to
+    /// bypass it.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the whole configuration and bypasses the
+    /// `KCORE_TECHNIQUES` environment override — for callers (and
+    /// tests) that assert technique-specific behavior.
+    pub fn exact_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self.exact = true;
+        self
+    }
+
+    /// Sets just the bucket strategy.
+    pub fn strategy(mut self, strategy: BucketStrategy) -> Self {
+        self.config.bucket_strategy = strategy;
+        self
+    }
+
+    /// Sets just the techniques block.
+    pub fn techniques(mut self, techniques: Techniques) -> Self {
+        self.config.techniques = techniques;
+        self
+    }
+
+    /// Disables run-statistics collection (benchmark timings).
+    pub fn without_stats(mut self) -> Self {
+        self.config.collect_stats = false;
+        self
+    }
+
+    /// The configuration as currently staged (before env resolution).
+    pub fn staged_config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Resolves the effective config: env override unless exact, with
+    /// unsupported tokens dropped per problem.
+    fn resolve(&self, supported: Option<&'static [&'static str]>) -> Config {
+        if self.exact {
+            self.config
+        } else {
+            match supported {
+                None => self.config.apply_env_overrides(),
+                Some(tokens) => self.config.apply_env_overrides_filtered(tokens),
+            }
+        }
+    }
+}
+
+impl<'g> Decomposition<'g, KcoreSpec> {
+    /// k-core decomposition of `g`: per-vertex coreness.
+    pub fn kcore(g: &'g CsrGraph) -> Self {
+        Self::with(g, KcoreSpec(()))
+    }
+
+    /// Runs the decomposition.
+    pub fn run(self) -> CorenessResult {
+        kcore::run_kcore(self.g, self.resolve(None))
+    }
+
+    /// Membership of the `k`-core (`true` = coreness `>= k`), computed
+    /// directly by offline range peeling — much cheaper than a full
+    /// decomposition when only one core is needed.
+    pub fn members(self, k: u32) -> Vec<bool> {
+        let config = self.resolve(None);
+        kcore::members(self.g, &config, k)
+    }
+}
+
+impl<'g> Decomposition<'g, KtrussSpec> {
+    /// k-truss decomposition of `g`: per-edge trussness.
+    pub fn ktruss(g: &'g CsrGraph) -> Self {
+        Self::with(g, KtrussSpec(()))
+    }
+
+    /// Runs the decomposition.
+    pub fn run(self) -> TrussnessResult {
+        ktruss::run_ktruss(self.g, self.resolve(None))
+    }
+}
+
+impl<'g> Decomposition<'g, DensestSpec> {
+    /// Charikar's greedy densest subgraph on `g` (a 2-approximation).
+    pub fn densest(g: &'g CsrGraph) -> Self {
+        Self::with(g, DensestSpec(()))
+    }
+
+    /// Runs the decomposition.
+    pub fn run(self) -> DensestResult {
+        densest::run_densest(self.g, self.resolve(None))
+    }
+}
+
+impl<'g> Decomposition<'g, KhCoreSpec> {
+    /// (k,h)-core decomposition of `g` with hop bound `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` (a 0-hop ball is always empty).
+    pub fn khcore(g: &'g CsrGraph, h: u32) -> Self {
+        assert!(h > 0, "the (k,h)-core needs a positive hop bound h");
+        Self::with(g, KhCoreSpec { h })
+    }
+
+    /// The hop bound `h`.
+    pub fn h(&self) -> u32 {
+        self.problem.h
+    }
+
+    /// Runs the decomposition.
+    pub fn run(self) -> KhCoreResult {
+        let config = self.resolve(Some(khcore::SUPPORTED_TECHNIQUES));
+        khcore::run_khcore(self.g, config, self.problem.h)
+    }
+}
+
+impl<'g> Decomposition<'g, ApproxDensestSpec> {
+    /// Batched (2+ε)-approximate densest subgraph on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon` is finite and non-negative (`0.0` is
+    /// allowed: it degenerates to per-average rounds with the plain
+    /// factor 2).
+    pub fn approx_densest(g: &'g CsrGraph, epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
+        Self::with(g, ApproxDensestSpec { epsilon })
+    }
+
+    /// The approximation slack ε (factor `2 + ε`).
+    pub fn epsilon(&self) -> f64 {
+        self.problem.epsilon
+    }
+
+    /// Runs the decomposition.
+    pub fn run(self) -> ApproxDensestResult {
+        let config = self.resolve(Some(approx_densest::SUPPORTED_TECHNIQUES));
+        approx_densest::run_approx_densest(self.g, config, self.problem.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz::bz_coreness;
+    use crate::config::{Sampling, Vgc};
+    use kcore_graph::gen;
+
+    #[test]
+    fn builder_matches_the_per_problem_facades() {
+        #![allow(deprecated)]
+        use crate::{ApproxDensest, DensestSubgraph, KCore, KTruss, KhCore};
+        let g = gen::barabasi_albert(300, 3, 17);
+        let config = Config { bucket_strategy: BucketStrategy::Fixed(16), ..Config::default() };
+        assert_eq!(
+            Decomposition::kcore(&g).exact_config(config).run().coreness(),
+            KCore::with_exact_config(config).run(&g).coreness()
+        );
+        assert_eq!(
+            Decomposition::ktruss(&g).exact_config(config).run().trussness(),
+            KTruss::with_exact_config(config).run(&g).trussness()
+        );
+        assert_eq!(
+            Decomposition::densest(&g).exact_config(config).run().density(),
+            DensestSubgraph::with_exact_config(config).run(&g).density()
+        );
+        assert_eq!(
+            Decomposition::khcore(&g, 2).exact_config(config).run().kh_coreness(),
+            KhCore::with_exact_config(config, 2).run(&g).kh_coreness()
+        );
+        assert_eq!(
+            Decomposition::approx_densest(&g, 0.5).exact_config(config).run().density(),
+            ApproxDensest::with_exact_config(config, 0.5).run(&g).density()
+        );
+    }
+
+    #[test]
+    fn builder_shortcuts_stage_config_fields() {
+        let g = gen::cycle(12);
+        let d = Decomposition::kcore(&g)
+            .strategy(BucketStrategy::Hierarchical)
+            .techniques(Techniques {
+                sampling: Some(Sampling::with_threshold(8)),
+                vgc: Some(Vgc::default()),
+                ..Techniques::default()
+            })
+            .without_stats();
+        assert_eq!(d.staged_config().bucket_strategy, BucketStrategy::Hierarchical);
+        assert!(d.staged_config().techniques.sampling.is_some());
+        assert!(!d.staged_config().collect_stats);
+        let r = d.run();
+        assert_eq!(r.coreness(), bz_coreness(&g).as_slice());
+        assert_eq!(r.stats().rounds, 0, "stats disabled");
+    }
+
+    #[test]
+    fn members_and_parameter_accessors() {
+        let g = gen::planted_core(200, 2, 40, 9);
+        let coreness = Decomposition::kcore(&g).run();
+        let members = Decomposition::kcore(&g).members(3);
+        let want: Vec<bool> = coreness.coreness().iter().map(|&c| c >= 3).collect();
+        assert_eq!(members, want);
+        assert_eq!(Decomposition::khcore(&g, 2).h(), 2);
+        assert_eq!(Decomposition::approx_densest(&g, 0.25).epsilon(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive hop bound")]
+    fn khcore_rejects_zero_hops() {
+        let g = gen::cycle(4);
+        let _ = Decomposition::khcore(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn approx_densest_rejects_negative_epsilon() {
+        let g = gen::cycle(4);
+        let _ = Decomposition::approx_densest(&g, -1.0);
+    }
+}

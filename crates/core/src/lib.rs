@@ -52,36 +52,46 @@
 //!   [`KCore::kcore_members`] reuses it to answer single-core queries
 //!   by bulk range peeling.
 //!
+//! Every problem is launched through the unified [`Decomposition`]
+//! builder; for standing results maintained under edge insertions and
+//! deletions, see [`DynamicGraph`].
+//!
 //! ```
-//! use kcore::{Config, DensestSubgraph, KCore, KTruss, Techniques};
+//! use kcore::{Decomposition, Techniques};
 //! use kcore_graph::gen;
 //!
 //! // A 100x100 grid is a 2-core once the boundary peels inward.
 //! let g = gen::grid2d(100, 100);
-//! let result = KCore::new(Config::default()).run(&g);
+//! let result = Decomposition::kcore(&g).run();
 //! assert_eq!(result.kmax(), 2);
 //!
 //! // Same answer with the full online techniques or the offline driver.
 //! for techniques in [Techniques::all_online(), Techniques::offline()] {
-//!     let r = KCore::new(Config::with_techniques(techniques)).run(&g);
+//!     let r = Decomposition::kcore(&g).techniques(techniques).run();
 //!     assert_eq!(r.coreness(), result.coreness());
 //! }
 //!
 //! // The same engine peels edges (k-truss) and tracks densities.
-//! let truss = KTruss::new(Config::default()).run(&g);
+//! let truss = Decomposition::ktruss(&g).run();
 //! assert_eq!(truss.max_trussness(), 2, "grids are triangle-free");
-//! let densest = DensestSubgraph::new(Config::default()).run(&g);
+//! let densest = Decomposition::densest(&g).run();
 //! assert!(densest.density() > 1.9, "the 2-core has ~2 edges per vertex");
 //! ```
 
 pub mod bz;
 mod config;
+mod decomposition;
+pub mod maintain;
 mod peel;
 mod problems;
 mod result;
 
 pub use config::{Config, HistogramKind, Offline, PeelMode, Sampling, Techniques, Validation, Vgc};
+pub use decomposition::{
+    ApproxDensestSpec, Decomposition, DensestSpec, KcoreSpec, KhCoreSpec, KtrussSpec,
+};
 pub use kcore_buckets::BucketStrategy;
+pub use maintain::{DynamicGraph, MaintainStats, Version};
 pub use peel::{
     ElementState, Incidence, PeelEngine, PeelProblem, RecomputeRule, RoundAggregates, RoundPolicy,
     SettleView, SnapshotRule, ThresholdPolicy, UnitIncidence,
@@ -91,4 +101,4 @@ pub use problems::{
     ApproxDensestResult, DensestResult, DensestSubgraph, KCore, KTruss, KhCore, KhCoreResult,
     TrussnessResult, SWEPT_EPSILONS,
 };
-pub use result::CorenessResult;
+pub use result::{CorenessResult, DecompositionResult};

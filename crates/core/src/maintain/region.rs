@@ -1,0 +1,350 @@
+//! Affected-region computation: the confinement theorem for edge
+//! batches, sharpened by traversal-style candidate elimination.
+//!
+//! After a batch of `b` applied edge changes, only a confined region of
+//! the graph can change coreness. The classical single-edge theorem
+//! (insert `{u, v}`: only vertices with coreness `min(c(u), c(v))`,
+//! connected to the cheaper endpoint through same-coreness vertices, can
+//! move — and by at most one) generalizes to batches:
+//!
+//! * **Magnitude.** Applying one edge changes any coreness by at most 1,
+//!   so `b` edges change any coreness by at most `b`.
+//! * **Level range.** Fix a level `k` and look at the vertices that
+//!   *gained* the `k`-core: `H = K_k(G') ∖ K_k(G)`. If some connected
+//!   component `C` of `H` (under updated-graph edges) contained no
+//!   endpoint of a changed edge, every vertex of `C` would have had its
+//!   `≥ k` supporting neighbors (all inside `C ∪ K_k(G)`) already in the
+//!   old graph — making `C ∪ K_k(G)` a subgraph of min-degree `k` in the
+//!   old graph, contradicting `C ∩ K_k(G) = ∅`. So every component of
+//!   gained vertices touches a changed-edge endpoint `e`; since `e`
+//!   itself gained the level, `k ≤ c_old(e) + b ≤ c_hi + b`, and every
+//!   vertex `w` on the connecting path satisfies
+//!   `c_old(w) ∈ [k − b, k − 1] ⊆ [c_lo − (b−1), c_hi + (b−1)]`, where
+//!   `[c_lo, c_hi]` spans the old corenesses of the changed-edge
+//!   endpoints.
+//!
+//! The BFS this licenses (from all endpoints of all applied changes,
+//! expanding into vertices with old coreness in range) is sound but
+//! loose: on graphs with near-uniform coreness — scale-free graphs are
+//! the canonical case — the in-range set is the whole graph, and the
+//! "region" degenerates into a full recompute. Two standard elimination
+//! arguments prune the candidates down to (a superset of) the vertices
+//! that can actually move, each side running only when the batch can
+//! move coreness in its direction:
+//!
+//! * **Gain elimination** (runs only when the batch inserted edges —
+//!   deletions never raise coreness). A vertex `w` that gains a level
+//!   ends at some `k ≥ c_old(w) + 1`, so it needs at least
+//!   `c_old(w) + 1` updated-graph neighbors with new coreness `≥ k`.
+//!   Such a neighbor `y` either already had `c_old(y) > c_old(w)`, or is
+//!   itself a gainer reaching level `≥ c_old(w) + 1` — hence has
+//!   `c_old(y) ∈ [c_old(w) + 1 − b, c_old(w)]` (magnitude bound) and
+//!   updated degree above `c_old(w)` (nobody reaches a level past
+//!   their degree). Count each BFS
+//!   candidate's qualified neighbors under exactly that test (one fused
+//!   sweep with the BFS expansion), seed the gain set `G` with the
+//!   degree-eligible candidates, and repeatedly discard `w ∈ G` whose
+//!   count drops to `≤ c_old(w)`, withdrawing `w` from its in-window
+//!   neighbors' counts. True gainers survive: were the first true
+//!   gainer ever discarded, its `≥ c_old(w) + 1` supporters would all
+//!   still be qualified at that moment, a contradiction. (Counting an
+//!   unreachable degree-eligible neighbor as qualified forever is a
+//!   sound overcount — it can only keep extra vertices in `G`.)
+//! * **Loss cascade** (needs no BFS at all). A vertex `w` keeps
+//!   coreness `c_old(w)` if it retains `c_old(w)` updated-graph
+//!   neighbors that themselves keep coreness `≥ c_old(w)`. A neighbor
+//!   `y` with `c_old(y) ≥ c_old(w) + b` supports `w` *unconditionally*
+//!   — the magnitude bound caps its drop at `b` — so only losses inside
+//!   the window `c_old(y) − c_old(w) < b` can hurt `w` (for `b = 1`
+//!   this is the classical same-level rule). Support counts are
+//!   computed lazily, starting from the changed endpoints: deleted
+//!   edges are already off the adjacency, so seeds start deficient
+//!   exactly when a deletion cost them support. A vertex whose support
+//!   falls below `c_old(w)` joins the loss set `L` and withdraws its
+//!   unit from every in-window neighbor it was supporting, touching
+//!   that neighbor (and paying its `O(deg)` count) only then.
+//!   Untouched vertices provably keep their old support — every
+//!   deleted edge ends in a seed, and every `L`-join touches all
+//!   in-window neighbors it supported. Soundness of the fixpoint: for
+//!   every `k`, take `U = {w ∉ L : c_old(w) ≥ k} ∪ K_k(G')`. Each
+//!   non-`L` member's counted supporters are either non-`L` with
+//!   `c_old ≥ c_old(w) ≥ k` (in `U`) or out-of-window vertices whose
+//!   new coreness is at least `c_old(w) ≥ k` by the magnitude bound
+//!   (in `K_k(G')`), so `G'[U]` has min degree `≥ k` and no non-`L`
+//!   vertex lost level `k`.
+//!
+//! Both prunes are conservative in the right direction (extra members
+//! cost re-peel work, never correctness: the re-peel recomputes exact
+//! values for whatever region it is given, provided the region covers
+//! every vertex that moves). The loss side costs `O(Σ deg)` over the
+//! vertices it actually touches — for a small deletion batch that
+//! changes nothing, a handful of adjacency scans. The gain side costs
+//! one fused BFS sweep plus the elimination cascade over the in-range
+//! candidates. The final region is `G ∪ L` — typically empty or a
+//! handful of vertices for a small batch, even when the range BFS
+//! flooded the graph.
+
+use kcore_graph::{OverlayGraph, VertexId};
+
+/// The confined region a batch of edge changes can affect.
+pub(crate) struct Region {
+    /// Affected vertices, sorted ascending by original id. Every vertex
+    /// whose coreness differs between the old and updated graph is in
+    /// here (the converse need not hold).
+    pub(crate) vertices: Vec<VertexId>,
+    /// Number of BFS seeds (distinct endpoints of applied changes).
+    pub(crate) seeds: usize,
+    /// Vertices examined before elimination: range-BFS candidates on
+    /// the gain side, lazily-touched support counts on the loss side —
+    /// whichever pool was larger.
+    pub(crate) candidates: usize,
+    /// Inclusive old-coreness range the gain BFS expands through.
+    pub(crate) lo: u32,
+    /// See [`Region::lo`].
+    pub(crate) hi: u32,
+}
+
+/// Old coreness of `v`, treating vertices beyond the recorded universe
+/// (grown by this batch) as coreness 0 — correct, since they had no
+/// edges before the batch.
+#[inline]
+pub(crate) fn old_coreness(coreness: &[u32], v: VertexId) -> u32 {
+    coreness.get(v as usize).copied().unwrap_or(0)
+}
+
+/// Computes the affected region on the *updated* logical graph `g`.
+///
+/// `coreness` is the pre-batch coreness array (possibly shorter than
+/// `g.num_vertices()` when the batch grew the universe); `changed` lists
+/// the applied edge changes — inserts and deletes alike, as endpoint
+/// pairs. `has_inserts` tells the gain side whether it can skip (a
+/// delete-only batch never raises any coreness).
+pub(crate) fn affected_region(
+    g: &OverlayGraph,
+    coreness: &[u32],
+    changed: &[(VertexId, VertexId)],
+    has_inserts: bool,
+) -> Region {
+    debug_assert!(!changed.is_empty(), "no applied changes — nothing to confine");
+    let b = changed.len() as u32;
+    let slack = b - 1;
+    let (mut c_lo, mut c_hi) = (u32::MAX, 0u32);
+    for &(u, v) in changed {
+        let (cu, cv) = (old_coreness(coreness, u), old_coreness(coreness, v));
+        c_lo = c_lo.min(cu.min(cv));
+        c_hi = c_hi.max(cu.max(cv));
+    }
+    let lo = c_lo.saturating_sub(slack);
+    let hi = c_hi.saturating_add(slack);
+
+    let n = g.num_vertices();
+    let mut seeds: Vec<VertexId> = changed.iter().flat_map(|&(u, v)| [u, v]).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+
+    // ---- Loss cascade: lazy support counts from the seeds outward.
+    let mut in_l = vec![false; n];
+    // A popped member has already withdrawn its unit everywhere, so
+    // fresh counts exclude it; pending (pushed, unpopped) members still
+    // count and withdraw on their own pop — each unit exactly once.
+    let mut popped = vec![false; n];
+    let mut computed = vec![false; n];
+    let mut support = vec![0u32; n];
+    let mut touched = 0usize;
+    // A popped neighbor withdraws support only from inside the window:
+    // above it, the magnitude bound keeps it a supporter regardless.
+    let fresh_support = |v: VertexId, popped: &[bool]| {
+        let cv = old_coreness(coreness, v);
+        g.neighbors(v)
+            .iter()
+            .filter(|&&y| {
+                let cy = old_coreness(coreness, y);
+                cy >= cv && !(popped[y as usize] && cy - cv < b)
+            })
+            .count() as u32
+    };
+    let mut losses: Vec<VertexId> = Vec::new();
+    let mut worklist: Vec<VertexId> = Vec::new();
+    for &s in &seeds {
+        computed[s as usize] = true;
+        touched += 1;
+        support[s as usize] = fresh_support(s, &popped);
+        if support[s as usize] < old_coreness(coreness, s) {
+            in_l[s as usize] = true;
+            losses.push(s);
+            worklist.push(s);
+        }
+    }
+    while let Some(v) = worklist.pop() {
+        popped[v as usize] = true;
+        let cv = old_coreness(coreness, v);
+        for &w in g.neighbors(v) {
+            let cw = old_coreness(coreness, w);
+            if in_l[w as usize] || cw > cv || cv - cw >= b {
+                continue; // already lost, not supported by v, or out of
+                          // the window (v's drop can't take it below cw)
+            }
+            if !computed[w as usize] {
+                computed[w as usize] = true;
+                touched += 1;
+                support[w as usize] = fresh_support(w, &popped);
+            } else {
+                support[w as usize] -= 1;
+            }
+            if support[w as usize] < cw {
+                in_l[w as usize] = true;
+                losses.push(w);
+                worklist.push(w);
+            }
+        }
+    }
+
+    // ---- Gain side: range BFS with fused qualified counts, then the
+    // elimination cascade.
+    let mut vertices = losses;
+    let mut bfs_candidates = 0;
+    if has_inserts {
+        let in_window = |cw: u32, cy: u32| cy <= cw && cw - cy < b;
+        let mut visited = vec![false; n];
+        let mut in_g = vec![false; n];
+        let mut qualified = vec![0u32; n];
+        let mut queue: Vec<VertexId> = seeds.clone();
+        for &s in &seeds {
+            visited[s as usize] = true;
+        }
+        let mut worklist: Vec<VertexId> = Vec::new();
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let cv = old_coreness(coreness, v);
+            let eligible = g.degree(v) as u32 > cv;
+            let mut q = 0u32;
+            for &y in g.neighbors(v) {
+                let cy = old_coreness(coreness, y);
+                if !visited[y as usize] && (lo..=hi).contains(&cy) {
+                    visited[y as usize] = true;
+                    queue.push(y);
+                }
+                // A same-or-lower neighbor supports v at level cv + 1
+                // only by gaining to cv + 1 itself, which its updated
+                // degree must allow (deg > cv implies deg > cy here).
+                if eligible && (cy > cv || (in_window(cv, cy) && g.degree(y) as u32 > cv)) {
+                    q += 1;
+                }
+            }
+            if eligible {
+                in_g[v as usize] = true;
+                qualified[v as usize] = q;
+                if q <= cv {
+                    worklist.push(v);
+                }
+            }
+        }
+        bfs_candidates = queue.len();
+        while let Some(v) = worklist.pop() {
+            if !std::mem::replace(&mut in_g[v as usize], false) {
+                continue; // a second worklist entry for the same vertex
+            }
+            let cv = old_coreness(coreness, v);
+            let dv = g.degree(v) as u32;
+            for &w in g.neighbors(v) {
+                let cw = old_coreness(coreness, w);
+                if in_g[w as usize] && in_window(cw, cv) && dv > cw {
+                    qualified[w as usize] -= 1;
+                    if qualified[w as usize] <= cw {
+                        worklist.push(w);
+                    }
+                }
+            }
+        }
+        vertices.extend(queue.into_iter().filter(|&v| in_g[v as usize]));
+    }
+
+    vertices.sort_unstable();
+    vertices.dedup();
+    Region { vertices, seeds: seeds.len(), candidates: bfs_candidates.max(touched), lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::GraphBuilder;
+
+    /// A triangle (coreness 2) with a pendant path `2-3-…-9`
+    /// (coreness 1 — pendant, so the path never closes into a 2-core).
+    fn lollipop() -> OverlayGraph {
+        let mut b = GraphBuilder::new(10);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            b.push_edge(u, v);
+        }
+        for v in 2..9 {
+            b.push_edge(v, v + 1);
+        }
+        OverlayGraph::new(b.build())
+    }
+
+    #[test]
+    fn single_insert_confines_to_one_coreness_level() {
+        let mut g = lollipop();
+        let coreness = crate::bz::bz_coreness(g.base());
+        assert!(g.insert_edge(4, 6));
+        let region = affected_region(&g, &coreness, &[(4, 6)], true);
+        assert_eq!((region.lo, region.hi), (1, 1), "b = 1 leaves no slack");
+        assert_eq!(region.seeds, 2);
+        // The level-1 path is reachable, the level-2 triangle is not.
+        assert!(region.candidates < g.num_vertices());
+        // The chord closes cycle 4-5-6; vertex 3 also survives the gain
+        // fixpoint (its triangle neighbor plus an in-set neighbor keep
+        // it qualified) — a sound superset of the true gainers {4,5,6}.
+        assert_eq!(region.vertices, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn batches_widen_the_range() {
+        let mut g = lollipop();
+        let coreness = crate::bz::bz_coreness(g.base());
+        assert!(g.insert_edge(4, 6));
+        assert!(g.insert_edge(5, 7));
+        let region = affected_region(&g, &coreness, &[(4, 6), (5, 7)], true);
+        assert_eq!((region.lo, region.hi), (0, 2), "b = 2 adds one level of slack each way");
+        assert_eq!(region.seeds, 4);
+        // The two chords interleave over path 4..=7; all of it can move.
+        assert!([4u32, 5, 6, 7].iter().all(|v| region.vertices.contains(v)));
+    }
+
+    #[test]
+    fn deleted_edge_cascades_nowhere_on_a_path() {
+        let mut g = lollipop();
+        let coreness = crate::bz::bz_coreness(g.base());
+        // Deleting a path edge disconnects the two halves, but each
+        // endpoint keeps a level-1 neighbor: nobody loses coreness, and
+        // the loss cascade certifies it after touching only the seeds.
+        assert!(g.delete_edge(5, 6));
+        let region = affected_region(&g, &coreness, &[(5, 6)], false);
+        assert_eq!(region.seeds, 2);
+        assert_eq!(region.candidates, 2, "only the endpoints were examined");
+        assert!(region.vertices.is_empty(), "path vertices all keep coreness 1");
+    }
+
+    #[test]
+    fn deletion_that_breaks_a_core_keeps_the_losers() {
+        let mut g = lollipop();
+        let coreness = crate::bz::bz_coreness(g.base());
+        // Deleting a triangle edge drops the whole triangle to the
+        // pendant path's level.
+        assert!(g.delete_edge(0, 1));
+        let region = affected_region(&g, &coreness, &[(0, 1)], false);
+        assert_eq!(region.vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grown_vertices_count_as_coreness_zero() {
+        let mut g = lollipop();
+        let coreness = crate::bz::bz_coreness(g.base());
+        assert!(g.insert_edge(9, 20));
+        let region = affected_region(&g, &coreness, &[(9, 20)], true);
+        assert_eq!((region.lo, region.hi), (0, 1), "grown endpoint counts as coreness 0");
+        assert_eq!(region.vertices, vec![20], "only the grown vertex gains (coreness 1)");
+    }
+}

@@ -114,6 +114,16 @@ impl UnitIncidence for CsrGraph {
     }
 }
 
+// The delta overlay serves merged sorted adjacency slices, so the engine
+// peels the logical (base ± deltas) graph directly — the batch-dynamic
+// maintenance path never rebuilds a CSR just to re-peel.
+impl UnitIncidence for kcore_graph::OverlayGraph {
+    #[inline]
+    fn incident(&self, v: u32) -> &[u32] {
+        self.neighbors(v)
+    }
+}
+
 /// Settle state of an element as seen from a [`SettleView`] snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElementState {

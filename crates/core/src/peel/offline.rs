@@ -29,7 +29,7 @@
 //! extract one k-core, every element of priority `< k` is pulled in a
 //! single bulk step ([`BucketStructure::next_frontier_range`]) and the
 //! cascade needs no round ordering at all — the serving path for
-//! individual core queries ([`crate::KCore::kcore_members`]).
+//! individual core queries ([`crate::Decomposition::members`]).
 
 use super::engine::{
     upgrade_adaptive_if_due, Incidence, LiveView, PeelProblem, SettleView, SnapshotRule,
@@ -275,7 +275,7 @@ mod tests {
     use super::*;
     use crate::bz::bz_coreness;
     use crate::config::Techniques;
-    use crate::{Config, KCore};
+    use crate::{Config, Decomposition};
     use kcore_graph::{gen, CsrGraph};
 
     fn offline_config(kind: HistogramKind) -> Config {
@@ -290,7 +290,7 @@ mod tests {
         let g = gen::rmat(9, 8, 0.57, 0.19, 0.19, 5);
         let want = bz_coreness(&g);
         for kind in [HistogramKind::Auto, HistogramKind::Sort, HistogramKind::Atomic] {
-            let got = KCore::new(offline_config(kind)).run(&g);
+            let got = Decomposition::kcore(&g).config(offline_config(kind)).run();
             assert_eq!(got.coreness(), want.as_slice(), "{kind:?}");
         }
     }
@@ -298,8 +298,8 @@ mod tests {
     #[test]
     fn offline_is_deterministic() {
         let g = gen::barabasi_albert(500, 3, 9);
-        let a = KCore::new(offline_config(HistogramKind::Auto)).run(&g);
-        let b = KCore::new(offline_config(HistogramKind::Auto)).run(&g);
+        let a = Decomposition::kcore(&g).config(offline_config(HistogramKind::Auto)).run();
+        let b = Decomposition::kcore(&g).config(offline_config(HistogramKind::Auto)).run();
         assert_eq!(a.coreness(), b.coreness());
         assert_eq!(a.stats().subrounds, b.stats().subrounds);
     }

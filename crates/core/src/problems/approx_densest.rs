@@ -136,10 +136,22 @@ pub struct ApproxDensest {
     epsilon: f64,
 }
 
-impl ApproxDensest {
-    /// Env-override tokens that apply to threshold peeling.
-    const SUPPORTED_TECHNIQUES: &'static [&'static str] = &["vgc"];
+/// Env-override tokens that apply to threshold peeling.
+pub(crate) const SUPPORTED_TECHNIQUES: &[&str] = &["vgc"];
 
+/// Runs batched approximate densest-subgraph with `config` exactly as
+/// given — the shared core behind
+/// [`crate::Decomposition::approx_densest`].
+pub(crate) fn run_approx_densest(
+    g: &CsrGraph,
+    config: Config,
+    epsilon: f64,
+) -> ApproxDensestResult {
+    let problem = ApproxDensestProblem { g, rate: 1.0 + epsilon / 2.0 };
+    PeelEngine::new(&problem, config).run()
+}
+
+impl ApproxDensest {
     /// Creates the framework targeting a `2 + epsilon` approximation
     /// factor, after applying the `KCORE_TECHNIQUES` override
     /// restricted to the techniques threshold rounds support.
@@ -150,13 +162,21 @@ impl ApproxDensest {
     /// allowed: it degenerates to per-average rounds with the plain
     /// factor 2), or if the configuration explicitly enables sampling
     /// or the offline driver (rejected by the engine on `run`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Decomposition::approx_densest(&g, epsilon).config(c).run()`"
+    )]
     pub fn new(config: Config, epsilon: f64) -> Self {
         assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
-        Self { config: config.apply_env_overrides_filtered(Self::SUPPORTED_TECHNIQUES), epsilon }
+        Self { config: config.apply_env_overrides_filtered(SUPPORTED_TECHNIQUES), epsilon }
     }
 
     /// Creates the framework with `config` exactly as given (see
-    /// [`crate::KCore::with_exact_config`]).
+    /// [`crate::Decomposition::exact_config`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Decomposition::approx_densest(&g, epsilon).exact_config(c).run()`"
+    )]
     pub fn with_exact_config(config: Config, epsilon: f64) -> Self {
         assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
         Self { config, epsilon }
@@ -176,8 +196,7 @@ impl ApproxDensest {
     /// standing subgraph observed — a `(2 + ε)`-approximation of the
     /// densest subgraph, in `O(log₁₊ε n)` rounds.
     pub fn run(&self, g: &CsrGraph) -> ApproxDensestResult {
-        let problem = ApproxDensestProblem { g, rate: 1.0 + self.epsilon / 2.0 };
-        PeelEngine::new(&problem, self.config).run()
+        run_approx_densest(g, self.config, self.epsilon)
     }
 }
 
@@ -238,8 +257,20 @@ impl ApproxDensestResult {
     }
 }
 
+impl crate::result::DecompositionResult for ApproxDensestResult {
+    fn num_elements(&self) -> usize {
+        self.membership.len()
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim facades stay covered until removal
+
     use super::*;
     use crate::config::{Sampling, Techniques};
     use crate::problems::densest::sequential_greedy_density;
@@ -397,10 +428,8 @@ mod tests {
     #[test]
     fn forced_env_tokens_are_filtered_not_fatal() {
         let g = gen::barabasi_albert(120, 3, 5);
-        let config = Config::default().apply_techniques_spec_filtered(
-            "sampling,vgc,offline",
-            ApproxDensest::SUPPORTED_TECHNIQUES,
-        );
+        let config = Config::default()
+            .apply_techniques_spec_filtered("sampling,vgc,offline", SUPPORTED_TECHNIQUES);
         let got = ApproxDensest::with_exact_config(config, 0.5).run(&g);
         let want = ApproxDensest::with_exact_config(Config::default(), 0.5).run(&g);
         assert_eq!(got.rounds(), want.rounds());

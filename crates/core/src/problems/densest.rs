@@ -103,15 +103,23 @@ pub struct DensestSubgraph {
     config: Config,
 }
 
+/// Runs greedy densest-subgraph extraction with `config` exactly as
+/// given — the shared core behind [`crate::Decomposition::densest`].
+pub(crate) fn run_densest(g: &CsrGraph, config: Config) -> DensestResult {
+    PeelEngine::new(&DensestProblem { g }, config).run()
+}
+
 impl DensestSubgraph {
     /// Creates the framework with the given configuration, after
     /// applying the `KCORE_TECHNIQUES` environment override.
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::densest(&g).config(c).run()`")]
     pub fn new(config: Config) -> Self {
         Self { config: config.apply_env_overrides() }
     }
 
     /// Creates the framework with `config` exactly as given (see
-    /// [`crate::KCore::with_exact_config`]).
+    /// [`crate::Decomposition::exact_config`]).
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::densest(&g).exact_config(c).run()`")]
     pub fn with_exact_config(config: Config) -> Self {
         Self { config }
     }
@@ -124,7 +132,7 @@ impl DensestSubgraph {
     /// Peels `g` and returns the densest core found along the way —
     /// a 2-approximation of the densest subgraph.
     pub fn run(&self, g: &CsrGraph) -> DensestResult {
-        PeelEngine::new(&DensestProblem { g }, self.config).run()
+        run_densest(g, self.config)
     }
 }
 
@@ -181,6 +189,16 @@ impl DensestResult {
     }
 }
 
+impl crate::result::DecompositionResult for DensestResult {
+    fn num_elements(&self) -> usize {
+        self.coreness.len()
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
 /// Sequential greedy densest-subgraph oracle: remove a minimum-degree
 /// vertex one at a time (smallest id among minima, for determinism) and
 /// return the best density over *every* suffix of the removal order.
@@ -217,6 +235,8 @@ pub fn sequential_greedy_density(g: &CsrGraph) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim facades stay covered until removal
+
     use super::*;
     use crate::bz::bz_coreness;
     use crate::config::Techniques;

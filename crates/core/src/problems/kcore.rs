@@ -45,6 +45,27 @@ impl PeelProblem for KCoreProblem<'_> {
     }
 }
 
+/// Runs the k-core decomposition with `config` exactly as given — the
+/// shared core behind [`crate::Decomposition::kcore`] (env resolution
+/// happens in the builder).
+pub(crate) fn run_kcore(g: &CsrGraph, config: Config) -> CorenessResult {
+    PeelEngine::new(&KCoreProblem { g }, config).run()
+}
+
+/// Membership of the `k`-core (`true` = vertex has coreness `>= k`),
+/// computed directly by offline range peeling: every vertex of degree
+/// below `k` is extracted in one bulk range step and the cascade is
+/// driven by histogram decrements. Much cheaper than a full
+/// decomposition when only one core is needed (the serving path for
+/// "give me the k-core" queries).
+pub(crate) fn members(g: &CsrGraph, config: &Config, k: u32) -> Vec<bool> {
+    let off = match config.techniques.mode {
+        PeelMode::Offline(off) => off,
+        PeelMode::Online => crate::config::Offline::default(),
+    };
+    offline::range_membership(g, &g.degrees(), k, off)
+}
+
 /// The parallel k-core decomposition framework.
 #[derive(Debug, Clone, Default)]
 pub struct KCore {
@@ -55,15 +76,15 @@ impl KCore {
     /// Creates the framework with the given configuration, after
     /// applying the `KCORE_TECHNIQUES` environment override (see
     /// [`Config::apply_env_overrides`]).
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::kcore(&g).config(c).run()`")]
     pub fn new(config: Config) -> Self {
         Self { config: config.apply_env_overrides() }
     }
 
     /// Creates the framework with `config` exactly as given, bypassing
     /// the `KCORE_TECHNIQUES` environment override. For callers (and
-    /// tests) that assert technique-specific behavior; prefer
-    /// [`KCore::new`] everywhere else so CI's forced-techniques matrix
-    /// reaches your code path.
+    /// tests) that assert technique-specific behavior.
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::kcore(&g).exact_config(c).run()`")]
     pub fn with_exact_config(config: Config) -> Self {
         Self { config }
     }
@@ -79,26 +100,20 @@ impl KCore {
     /// [`RunStats::restarts`] additionally counts aborted sampling
     /// attempts (expected 0 — see [`crate::Sampling`]).
     pub fn run(&self, g: &CsrGraph) -> CorenessResult {
-        PeelEngine::new(&KCoreProblem { g }, self.config).run()
+        run_kcore(g, self.config)
     }
 
-    /// Membership of the `k`-core (`true` = vertex has coreness `>= k`),
-    /// computed directly by offline range peeling: every vertex of
-    /// degree below `k` is extracted in one bulk range step and the
-    /// cascade is driven by histogram decrements. Much cheaper than a
-    /// full decomposition when only one core is needed (the serving
-    /// path for "give me the k-core" queries).
+    /// See [`crate::Decomposition::members`] — the serving path for
+    /// "give me the k-core" queries.
     pub fn kcore_members(&self, g: &CsrGraph, k: u32) -> Vec<bool> {
-        let off = match self.config.techniques.mode {
-            PeelMode::Offline(off) => off,
-            PeelMode::Online => crate::config::Offline::default(),
-        };
-        offline::range_membership(g, &g.degrees(), k, off)
+        members(g, &self.config, k)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim facades stay covered until removal
+
     use super::*;
     use crate::bz::bz_coreness;
     use crate::config::{PeelMode, Sampling, Techniques, Validation, Vgc};

@@ -213,12 +213,18 @@ pub struct KhCore {
     h: u32,
 }
 
-impl KhCore {
-    /// Env-override tokens that apply to recompute peeling. (VGC is
-    /// accepted and then ignored by the two-phase driver, mirroring
-    /// the snapshot-rule problems; sampling/offline would panic.)
-    const SUPPORTED_TECHNIQUES: &'static [&'static str] = &["vgc"];
+/// Env-override tokens that apply to recompute peeling. (VGC is
+/// accepted and then ignored by the two-phase driver, mirroring the
+/// snapshot-rule problems; sampling/offline would panic.)
+pub(crate) const SUPPORTED_TECHNIQUES: &[&str] = &["vgc"];
 
+/// Runs the (k,h)-core decomposition with `config` exactly as given —
+/// the shared core behind [`crate::Decomposition::khcore`].
+pub(crate) fn run_khcore(g: &CsrGraph, config: Config, h: u32) -> KhCoreResult {
+    PeelEngine::new(&KhCoreProblem { g, h }, config).run()
+}
+
+impl KhCore {
     /// Creates the framework for the (·,h)-core family with the given
     /// configuration, after applying the `KCORE_TECHNIQUES` override
     /// restricted to the techniques recompute peeling supports.
@@ -228,13 +234,18 @@ impl KhCore {
     /// Panics if `h == 0` (a 0-hop ball is always empty) or if the
     /// configuration explicitly enables sampling or the offline driver
     /// (rejected by the engine when `run` is called).
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::khcore(&g, h).config(c).run()`")]
     pub fn new(config: Config, h: u32) -> Self {
         assert!(h > 0, "the (k,h)-core needs a positive hop bound h");
-        Self { config: config.apply_env_overrides_filtered(Self::SUPPORTED_TECHNIQUES), h }
+        Self { config: config.apply_env_overrides_filtered(SUPPORTED_TECHNIQUES), h }
     }
 
     /// Creates the framework with `config` exactly as given (see
-    /// [`crate::KCore::with_exact_config`]).
+    /// [`crate::Decomposition::exact_config`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Decomposition::khcore(&g, h).exact_config(c).run()`"
+    )]
     pub fn with_exact_config(config: Config, h: u32) -> Self {
         assert!(h > 0, "the (k,h)-core needs a positive hop bound h");
         Self { config, h }
@@ -252,7 +263,7 @@ impl KhCore {
 
     /// Decomposes `g`, returning every vertex's kh-coreness.
     pub fn run(&self, g: &CsrGraph) -> KhCoreResult {
-        PeelEngine::new(&KhCoreProblem { g, h: self.h }, self.config).run()
+        run_khcore(g, self.config, self.h)
     }
 }
 
@@ -297,6 +308,16 @@ impl KhCoreResult {
     }
 }
 
+impl crate::result::DecompositionResult for KhCoreResult {
+    fn num_elements(&self) -> usize {
+        self.kh_coreness.len()
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
 /// Sequential recount oracle for the (k,h)-core decomposition.
 ///
 /// Maintains no incremental state: every peel decision re-counts the
@@ -329,6 +350,8 @@ pub fn sequential_kh_coreness(g: &CsrGraph, h: u32) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim facades stay covered until removal
+
     use super::*;
     use crate::bz::bz_coreness;
     use crate::config::{Sampling, Techniques};
@@ -458,7 +481,7 @@ mod tests {
         // and the run stays oracle-correct.
         let g = gen::barabasi_albert(40, 2, 5);
         let config = Config::default()
-            .apply_techniques_spec_filtered("sampling,vgc,offline", KhCore::SUPPORTED_TECHNIQUES);
+            .apply_techniques_spec_filtered("sampling,vgc,offline", SUPPORTED_TECHNIQUES);
         let got = KhCore::with_exact_config(config, 2).run(&g);
         assert_eq!(got.kh_coreness(), sequential_kh_coreness(&g, 2).as_slice());
     }

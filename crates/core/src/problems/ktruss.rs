@@ -118,15 +118,28 @@ pub struct KTruss {
     config: Config,
 }
 
+/// Runs the k-truss decomposition with `config` exactly as given — the
+/// shared core behind [`crate::Decomposition::ktruss`].
+pub(crate) fn run_ktruss(g: &CsrGraph, config: Config) -> TrussnessResult {
+    let idx = EdgeIndex::build(g);
+    let supports = edge_supports(g, &idx);
+    let problem = KTrussProblem { g, idx: &idx, supports: &supports };
+    let (rounds, stats) = PeelEngine::new(&problem, config).run();
+    let trussness = rounds.into_iter().map(|r| r + 2).collect();
+    TrussnessResult { index: idx, trussness, stats }
+}
+
 impl KTruss {
     /// Creates the framework with the given configuration, after
     /// applying the `KCORE_TECHNIQUES` environment override.
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::ktruss(&g).config(c).run()`")]
     pub fn new(config: Config) -> Self {
         Self { config: config.apply_env_overrides() }
     }
 
     /// Creates the framework with `config` exactly as given (see
-    /// [`crate::KCore::with_exact_config`]).
+    /// [`crate::Decomposition::exact_config`]).
+    #[deprecated(since = "0.2.0", note = "use `Decomposition::ktruss(&g).exact_config(c).run()`")]
     pub fn with_exact_config(config: Config) -> Self {
         Self { config }
     }
@@ -138,12 +151,7 @@ impl KTruss {
 
     /// Decomposes `g`, returning every edge's trussness.
     pub fn run(&self, g: &CsrGraph) -> TrussnessResult {
-        let idx = EdgeIndex::build(g);
-        let supports = edge_supports(g, &idx);
-        let problem = KTrussProblem { g, idx: &idx, supports: &supports };
-        let (rounds, stats) = PeelEngine::new(&problem, self.config).run();
-        let trussness = rounds.into_iter().map(|r| r + 2).collect();
-        TrussnessResult { index: idx, trussness, stats }
+        run_ktruss(g, self.config)
     }
 }
 
@@ -185,6 +193,16 @@ impl TrussnessResult {
 
     /// Run counters (rounds, subrounds, work, burdened span, ...).
     pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+impl crate::result::DecompositionResult for TrussnessResult {
+    fn num_elements(&self) -> usize {
+        self.trussness.len()
+    }
+
+    fn stats(&self) -> &RunStats {
         &self.stats
     }
 }
@@ -233,6 +251,8 @@ pub fn sequential_trussness(g: &CsrGraph) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim facades stay covered until removal
+
     use super::*;
     use crate::config::Techniques;
     use kcore_buckets::BucketStrategy;

@@ -1,0 +1,176 @@
+//! Property-based correctness for batch-dynamic coreness maintenance:
+//! after every applied batch — random inserts (including universe
+//! growth), random deletes of real edges, and no-op changes mixed in —
+//! the maintained coreness must be bit-identical to a full
+//! Batagelj–Zaveršnik recompute on a fresh CSR snapshot of the logical
+//! graph, at every version, for every bucket strategy. The affected
+//! region must stay within the vertex universe throughout.
+
+use kcore::bz::bz_coreness;
+use kcore::{BucketStrategy, Config, DynamicGraph};
+use kcore_graph::{CsrGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn all_strategies() -> Vec<BucketStrategy> {
+    vec![
+        BucketStrategy::Single,
+        BucketStrategy::Fixed(16),
+        BucketStrategy::Hierarchical,
+        BucketStrategy::Adaptive,
+    ]
+}
+
+/// Arbitrary messy base graph: duplicates and self-loops allowed (the
+/// builder drops them), plus the empty and edgeless corners.
+fn arb_base() -> impl Strategy<Value = CsrGraph> {
+    (1usize..28).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..96))
+            .prop_map(|(n, edges)| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+type Batch = (Vec<(VertexId, VertexId)>, Vec<u64>);
+
+/// A batch: insert candidates drawn from a range slightly beyond the
+/// base universe (exercising vertex growth), delete candidates as raw
+/// picks resolved modulo the *current* edge list (so deletes really hit
+/// edges, not just the absent-edge no-op path).
+fn arb_batches() -> impl Strategy<Value = Vec<Batch>> {
+    let insert = (0u32..32, 0u32..32);
+    proptest::collection::vec(
+        (proptest::collection::vec(insert, 0..5), proptest::collection::vec(any::<u64>(), 0..4)),
+        1..5,
+    )
+}
+
+/// Resolves raw delete picks against the current logical edge list.
+fn resolve_deletes(dg: &DynamicGraph, picks: &[u64]) -> Vec<(u32, u32)> {
+    let edges: Vec<(u32, u32)> = dg.graph().edges().collect();
+    if edges.is_empty() {
+        Vec::new()
+    } else {
+        picks.iter().map(|&p| edges[(p % edges.len() as u64) as usize]).collect()
+    }
+}
+
+/// The shim's prop_assert macros are plain asserts (no shrinking), so a
+/// panicking helper loses nothing.
+fn replay_and_check(base: &CsrGraph, batches: &[Batch], strategy: BucketStrategy) {
+    let mut dg = DynamicGraph::new(base.clone(), Config::with_strategy(strategy));
+    assert_eq!(dg.coreness(), bz_coreness(base).as_slice(), "construction under {strategy}");
+    for (inserts, delete_picks) in batches {
+        let deletes = resolve_deletes(&dg, delete_picks);
+        let version = dg.apply_batch(inserts, &deletes);
+        assert_eq!(version, dg.version());
+        let want = bz_coreness(&dg.snapshot());
+        assert_eq!(
+            dg.coreness(),
+            want.as_slice(),
+            "version {version:?} under {strategy} diverged from the BZ oracle"
+        );
+        let stats = dg.last_stats();
+        assert!(
+            stats.region <= dg.graph().num_vertices(),
+            "affected region {} exceeds the universe {}",
+            stats.region,
+            dg.graph().num_vertices()
+        );
+        assert!(stats.seeds <= 2 * (stats.inserted + stats.deleted));
+    }
+}
+
+proptest! {
+    #[test]
+    fn batches_stay_bit_identical_to_full_recompute(
+        base in arb_base(),
+        batches in arb_batches(),
+    ) {
+        for strategy in all_strategies() {
+            replay_and_check(&base, &batches, strategy);
+        }
+    }
+
+    #[test]
+    fn insert_only_and_delete_only_batches(
+        base in arb_base(),
+        edges in proptest::collection::vec((0u32..24, 0u32..24), 1..8),
+    ) {
+        // Insert a batch of genuinely fresh edges, then delete exactly
+        // the same batch: the final coreness must equal the base's
+        // (modulo universe growth) and every intermediate version must
+        // match the oracle. Edges already in the base must be filtered
+        // out — for those the insert is a no-op but the delete is not,
+        // so the round trip would legitimately change the graph.
+        let base_overlay = kcore_graph::OverlayGraph::new(base.clone());
+        let fresh: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v && !base_overlay.has_edge(u, v))
+            .collect();
+        let mut dg = DynamicGraph::new(base.clone(), Config::default());
+        dg.apply_batch(&fresh, &[]);
+        prop_assert_eq!(dg.coreness(), bz_coreness(&dg.snapshot()).as_slice());
+        dg.apply_batch(&[], &fresh);
+        let want = bz_coreness(&dg.snapshot());
+        prop_assert_eq!(dg.coreness(), want.as_slice());
+        let n = base.num_vertices();
+        prop_assert_eq!(&dg.coreness()[..n], bz_coreness(&base).as_slice());
+        prop_assert!(dg.coreness()[n..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn compaction_preserves_the_decomposition(
+        base in arb_base(),
+        batches in arb_batches(),
+    ) {
+        // Force compaction after virtually every batch; the rebuilt CSR
+        // must carry the same standing coreness.
+        let mut dg = DynamicGraph::new(base.clone(), Config::default());
+        dg.set_compaction_fraction(0.0);
+        for (inserts, delete_picks) in &batches {
+            let deletes = resolve_deletes(&dg, delete_picks);
+            dg.apply_batch(inserts, &deletes);
+            prop_assert_eq!(dg.graph().overlay_arcs(), 0, "compaction must have run");
+            prop_assert_eq!(dg.coreness(), bz_coreness(&dg.snapshot()).as_slice());
+        }
+    }
+}
+
+/// The confinement guarantee in its most visible form: a single edge
+/// change far away from the dense part of the graph re-peels only a
+/// handful of vertices, never the whole graph.
+#[test]
+fn far_away_edge_confines_the_region() {
+    // 40 separate 4-cliques (coreness 3) threaded on a path of
+    // connector vertices (coreness 1): vertices 5i..5i+4 per block.
+    let blocks = 40u32;
+    let mut b = GraphBuilder::new((5 * blocks) as usize);
+    for i in 0..blocks {
+        let v = 5 * i;
+        b.push_edge(v, v + 1);
+        b.push_edge(v, v + 2);
+        b.push_edge(v, v + 3);
+        b.push_edge(v + 1, v + 2);
+        b.push_edge(v + 1, v + 3);
+        b.push_edge(v + 2, v + 3);
+        b.push_edge(v + 3, v + 4);
+        if i + 1 < blocks {
+            b.push_edge(v + 4, v + 5);
+        }
+    }
+    let g = b.build();
+    let n = g.num_vertices();
+    let mut dg = DynamicGraph::new(g, Config::default());
+
+    // Delete an edge inside the last clique: both endpoints have
+    // coreness 3, so the confinement range is exactly {3} and the BFS
+    // cannot cross the coreness-1 connector chain into other blocks.
+    let (u, v) = (5 * (blocks - 1), 5 * (blocks - 1) + 1);
+    dg.apply_batch(&[], &[(u, v)]);
+    let stats = dg.last_stats();
+    assert!(!stats.full_recompute, "a single far-away edge must not trigger a full re-peel");
+    assert!(stats.region * 4 < n, "region {} should be a small fraction of n = {n}", stats.region);
+    assert_eq!(stats.confinement, (3, 3), "both endpoints sit inside one clique");
+    assert_eq!(stats.region, 4, "only the touched clique is re-peeled");
+    assert_eq!(dg.coreness(), bz_coreness(&dg.snapshot()).as_slice());
+}

@@ -5,7 +5,7 @@
 //! satisfy the defining k-core property.
 
 use kcore::bz::bz_coreness;
-use kcore::{BucketStrategy, Config, KCore, PeelMode, Sampling, Techniques, Vgc};
+use kcore::{BucketStrategy, Config, Decomposition, PeelMode, Sampling, Techniques, Vgc};
 use kcore_graph::{gen, CsrGraph, GraphBuilder};
 use proptest::prelude::*;
 
@@ -39,7 +39,7 @@ fn assert_all_configs_match(g: &CsrGraph) {
     for strategy in all_strategies() {
         for techniques in all_techniques() {
             let config = Config { bucket_strategy: strategy, techniques, ..Config::default() };
-            let got = KCore::new(config).run(g);
+            let got = Decomposition::kcore(g).config(config).run();
             prop_assert_eq!(
                 got.coreness(),
                 want.as_slice(),
@@ -98,9 +98,8 @@ proptest! {
 
     #[test]
     fn kcore_membership_agrees_with_coreness(g in arb_graph(), k in 0u32..8) {
-        let kc = KCore::new(Config::default());
-        let coreness = kc.run(&g);
-        let members = kc.kcore_members(&g, k);
+        let coreness = Decomposition::kcore(&g).run();
+        let members = Decomposition::kcore(&g).members(k);
         let want: Vec<bool> = coreness.coreness().iter().map(|&c| c >= k).collect();
         prop_assert_eq!(members, want);
     }
@@ -110,7 +109,7 @@ proptest! {
         // Defining property: within the subgraph induced by vertices of
         // coreness >= c(v), v has degree >= c(v); and no vertex's
         // coreness exceeds its degree.
-        let result = KCore::new(Config::default()).run(&g);
+        let result = Decomposition::kcore(&g).run();
         let coreness = result.coreness();
         for v in g.vertices() {
             let c = coreness[v as usize];
@@ -132,7 +131,7 @@ proptest! {
 
     #[test]
     fn kmax_is_bounded_by_max_degree(g in arb_graph()) {
-        let result = KCore::new(Config::default()).run(&g);
+        let result = Decomposition::kcore(&g).run();
         prop_assert!(result.kmax() as usize <= g.max_degree());
         prop_assert_eq!(result.num_vertices(), g.num_vertices());
     }

@@ -20,16 +20,16 @@
 //! * **approx densest** must satisfy the (2+ε) sandwich
 //!   `oracle/(2+ε) <= parallel <= oracle` for every swept ε.
 //!
-//! Facades are constructed with `new` (not `with_exact_config`), so the
-//! `KCORE_TECHNIQUES` CI matrix legs push the forced techniques through
-//! every one of these assertions (the threshold/recompute facades
-//! filter the inapplicable tokens at the door — that path is exercised
-//! here too).
+//! Runs go through `Decomposition::...config(...)` (not
+//! `exact_config`), so the `KCORE_TECHNIQUES` CI matrix legs push the
+//! forced techniques through every one of these assertions (the
+//! threshold/recompute problems filter the inapplicable tokens at the
+//! door — that path is exercised here too).
 
 use kcore::bz::bz_coreness;
 use kcore::{
-    sequential_greedy_density, sequential_kh_coreness, sequential_trussness, ApproxDensest,
-    BucketStrategy, Config, DensestSubgraph, KCore, KTruss, KhCore, Techniques,
+    sequential_greedy_density, sequential_kh_coreness, sequential_trussness, BucketStrategy,
+    Config, Decomposition, Techniques,
 };
 use kcore_graph::{gen, CsrGraph, GraphBuilder};
 use proptest::prelude::*;
@@ -68,7 +68,7 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
 fn assert_truss_matches_oracle(g: &CsrGraph) {
     let want = sequential_trussness(g);
     for config in all_configs() {
-        let got = KTruss::new(config).run(g);
+        let got = Decomposition::ktruss(g).config(config).run();
         assert_eq!(
             got.trussness(),
             want.as_slice(),
@@ -83,7 +83,7 @@ fn assert_densest_sandwich(g: &CsrGraph) {
     let oracle = sequential_greedy_density(g);
     let coreness = bz_coreness(g);
     for config in all_configs() {
-        let r = DensestSubgraph::new(config).run(g);
+        let r = Decomposition::densest(g).config(config).run();
         let got = r.density();
         assert!(got <= oracle + 1e-9, "parallel {got} exceeds the finer greedy {oracle}");
         assert!(got * 2.0 + 1e-9 >= oracle, "parallel {got} below oracle/2 ({oracle})");
@@ -109,7 +109,7 @@ const EPSILONS: [f64; 3] = kcore::SWEPT_EPSILONS;
 fn assert_khcore_matches_oracle(g: &CsrGraph, h: u32) {
     let want = sequential_kh_coreness(g, h);
     for strategy in all_strategies() {
-        let got = KhCore::new(Config::with_strategy(strategy), h).run(g);
+        let got = Decomposition::khcore(g, h).strategy(strategy).run();
         assert_eq!(
             got.kh_coreness(),
             want.as_slice(),
@@ -122,7 +122,7 @@ fn assert_approx_densest_sandwich(g: &CsrGraph) {
     let oracle = sequential_greedy_density(g);
     for eps in EPSILONS {
         for strategy in all_strategies() {
-            let r = ApproxDensest::new(Config::with_strategy(strategy), eps).run(g);
+            let r = Decomposition::approx_densest(g, eps).strategy(strategy).run();
             let got = r.density();
             assert!(
                 got <= oracle + 1e-9,
@@ -182,7 +182,7 @@ proptest! {
         let g = gen::barabasi_albert(n, 3.min(n - 1), seed);
         let rounds: Vec<u64> = EPSILONS
             .iter()
-            .map(|&eps| ApproxDensest::new(Config::default(), eps).run(&g).num_rounds())
+            .map(|&eps| Decomposition::approx_densest(&g, eps).run().num_rounds())
             .collect();
         prop_assert!(
             rounds.windows(2).all(|w| w[1] <= w[0]),
@@ -201,7 +201,7 @@ proptest! {
     fn trussness_is_bounded_by_coreness_plus_one(g in arb_graph()) {
         // Classical containment: the k-truss is a subgraph of the
         // (k-1)-core, so t(e) <= min(core(u), core(v)) + 1 for e={u,v}.
-        let truss = KTruss::new(Config::default()).run(&g);
+        let truss = Decomposition::ktruss(&g).run();
         let coreness = bz_coreness(&g);
         for ((u, v), t) in truss.edges() {
             let bound = coreness[u as usize].min(coreness[v as usize]) + 1;
@@ -239,7 +239,7 @@ fn engine_kcore_bit_identical_on_seed_generators() {
     for (label, g) in &graphs {
         let want = bz_coreness(g);
         for strategy in all_strategies() {
-            let got = KCore::new(Config::with_strategy(strategy)).run(g);
+            let got = Decomposition::kcore(g).strategy(strategy).run();
             assert_eq!(got.coreness(), want.as_slice(), "{label} under {strategy}");
         }
     }
@@ -349,17 +349,17 @@ fn seed_graph(label: &str) -> CsrGraph {
 /// engine must reproduce the PR 4 round structure *exactly* — rounds,
 /// subrounds, syncs, work, frontier peaks, and burdened span — for
 /// k-core, densest-subgraph, and k-truss on the seed generators.
-/// `with_exact_config` bypasses the env override on purpose: the
-/// snapshot describes the technique-free baseline.
+/// `exact_config` bypasses the env override on purpose: the snapshot
+/// describes the technique-free baseline.
 #[test]
 fn minbucket_stats_match_the_pr4_snapshot() {
     for strategy in [BucketStrategy::Single, BucketStrategy::Adaptive] {
         for (label, want) in PR4_STATS {
             let g = seed_graph(label);
             let config = Config { bucket_strategy: strategy, ..Config::default() };
-            let kc = KCore::with_exact_config(config).run(&g);
-            let de = DensestSubgraph::with_exact_config(config).run(&g);
-            let kt = KTruss::with_exact_config(config).run(&g);
+            let kc = Decomposition::kcore(&g).exact_config(config).run();
+            let de = Decomposition::densest(&g).exact_config(config).run();
+            let kt = Decomposition::ktruss(&g).exact_config(config).run();
             for (name, stats, snap) in [
                 ("k-core", kc.stats(), &want[0]),
                 ("densest", de.stats(), &want[1]),
@@ -387,10 +387,10 @@ fn minbucket_stats_match_the_pr4_snapshot() {
 #[test]
 fn problems_are_mutually_consistent() {
     let g = gen::planted_core(200, 2, 30, 17);
-    let core = KCore::new(Config::default()).run(&g);
-    let densest = DensestSubgraph::new(Config::default()).run(&g);
+    let core = Decomposition::kcore(&g).run();
+    let densest = Decomposition::densest(&g).run();
     assert_eq!(core.coreness(), densest.coreness());
-    let truss = KTruss::new(Config::default()).run(&g);
+    let truss = Decomposition::ktruss(&g).run();
     assert_eq!(truss.num_edges(), g.num_edges());
     assert!(truss.max_trussness() <= core.kmax() + 1);
 }

@@ -88,9 +88,18 @@ impl GraphBuilder {
     }
 }
 
-/// Builds a CSR graph from a symmetric arc list (both directions already
-/// present, no self-loops). Sorts, dedups, and fills offsets.
-pub(crate) fn build_from_arcs(n: usize, mut arcs: Vec<(VertexId, VertexId)>) -> CsrGraph {
+/// Builds a CSR graph from an already-symmetric arc list: every
+/// undirected edge must appear as both `(u, v)` and `(v, u)`, with no
+/// self-loops (duplicates are fine — the build dedups). This is the
+/// parallel-sort construction path [`GraphBuilder::build`] uses, exposed
+/// for callers that maintain symmetry themselves, such as the delta
+/// overlay's compaction ([`crate::OverlayGraph::compact`]).
+///
+/// Asymmetric input or self-loops produce a graph that violates the
+/// [`CsrGraph`] invariants (no memory unsafety; algorithms may return
+/// wrong answers) — use [`GraphBuilder`] for untrusted edge lists.
+pub fn from_symmetric_arcs(n: usize, mut arcs: Vec<(VertexId, VertexId)>) -> CsrGraph {
+    debug_assert!(arcs.iter().all(|&(u, v)| u != v), "self-loop in symmetric arc list");
     arcs.par_sort_unstable();
     arcs.dedup();
 
@@ -104,6 +113,9 @@ pub(crate) fn build_from_arcs(n: usize, mut arcs: Vec<(VertexId, VertexId)>) -> 
     let edges: Vec<VertexId> = arcs.into_iter().map(|(_, v)| v).collect();
     CsrGraph::from_parts_unchecked(offsets, edges)
 }
+
+// Historical internal name, still used by the `gen` family.
+pub(crate) use from_symmetric_arcs as build_from_arcs;
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,9 @@
 //!   representation of an undirected graph (stored as symmetric arcs).
 //! * [`GraphBuilder`] — turns arbitrary edge lists into a [`CsrGraph`],
 //!   symmetrizing, deduplicating, and dropping self-loops along the way.
+//! * [`OverlayGraph`] — a mutable edge-delta overlay over an immutable
+//!   CSR base, with threshold compaction through the parallel builder;
+//!   the logical-graph type behind batch-dynamic maintenance.
 //! * [`gen`] — synthetic generators covering every graph family used in
 //!   the paper's evaluation (grids, cubes, meshes, road-like networks,
 //!   RMAT / Barabási–Albert power-law graphs, planted-core web-like
@@ -28,10 +31,12 @@ pub mod csr;
 pub mod edges;
 pub mod gen;
 pub mod io;
+pub mod overlay;
 pub mod stats;
 pub mod triangles;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use edges::EdgeIndex;
+pub use overlay::OverlayGraph;
 pub use stats::GraphStats;

@@ -36,27 +36,36 @@
 //!
 //! ## Quickstart
 //!
+//! Every decomposition starts from the [`core::Decomposition`] builder;
+//! [`core::DynamicGraph`] maintains a standing k-core decomposition
+//! under batches of edge insertions and deletions.
+//!
 //! ```
-//! use parallel_kcore::core::{Config, DensestSubgraph, KCore, KTruss};
+//! use parallel_kcore::core::Decomposition;
 //! use parallel_kcore::graph::gen;
 //!
 //! // A 100x100 grid: interior vertices have degree 4, the whole graph is a
 //! // 2-core after the corners peel away.
 //! let g = gen::grid2d(100, 100);
-//! let result = KCore::new(Config::default()).run(&g);
+//! let result = Decomposition::kcore(&g).run();
 //! assert_eq!(result.kmax(), 2);
 //!
 //! // The same engine peels edges and tracks densities.
-//! assert_eq!(KTruss::new(Config::default()).run(&g).max_trussness(), 2);
-//! assert!(DensestSubgraph::new(Config::default()).run(&g).density() > 1.9);
+//! assert_eq!(Decomposition::ktruss(&g).run().max_trussness(), 2);
+//! assert!(Decomposition::densest(&g).run().density() > 1.9);
 //!
 //! // ...and runs other round structures: threshold-batched rounds
 //! // ((2+ε)-approx densest, O(log n) rounds) and recomputed h-hop
 //! // priorities (the (k,h)-core).
-//! use parallel_kcore::core::{ApproxDensest, KhCore};
-//! let approx = ApproxDensest::new(Config::default(), 0.5).run(&g);
+//! let approx = Decomposition::approx_densest(&g, 0.5).run();
 //! assert!(approx.density() * 2.5 >= 1.9);
-//! assert!(KhCore::new(Config::default(), 2).run(&g).kmax() >= 2);
+//! assert!(Decomposition::khcore(&g, 2).run().kmax() >= 2);
+//!
+//! // Maintenance: delete an edge, splice only the affected region.
+//! use parallel_kcore::core::DynamicGraph;
+//! let mut dyn_g = DynamicGraph::new(gen::grid2d(30, 30), Default::default());
+//! let v1 = dyn_g.apply_batch(&[], &[(0, 1)]);
+//! assert_eq!(v1.get(), 1);
 //! ```
 pub use kcore as core;
 pub use kcore_buckets as buckets;
@@ -66,8 +75,9 @@ pub use kcore_parallel as parallel;
 /// Convenience re-export of the most common entry points.
 pub mod prelude {
     pub use kcore::{
-        ApproxDensest, ApproxDensestResult, Config, CorenessResult, DensestResult, DensestSubgraph,
-        KCore, KTruss, KhCore, KhCoreResult, PeelEngine, PeelProblem, TrussnessResult,
+        ApproxDensestResult, Config, CorenessResult, Decomposition, DecompositionResult,
+        DensestResult, DynamicGraph, KhCoreResult, MaintainStats, PeelEngine, PeelProblem,
+        TrussnessResult, Version,
     };
     pub use kcore_graph::{CsrGraph, EdgeIndex, GraphBuilder, VertexId};
 }
