@@ -37,14 +37,17 @@ pub fn standard_suite() -> Vec<BenchGraph> {
 }
 
 /// Runs the given criterion groups, then emits the collected
-/// measurements as JSON ([`summary::emit`]). Drop-in replacement for
-/// `criterion_main!` in this workspace's bench binaries.
+/// measurements as JSON ([`summary::emit`]) and — when `KCORE_TRACE`
+/// recorded anything and `KCORE_TRACE_OUT` names a path — a Chrome
+/// trace of the run ([`summary::export_trace`]). Drop-in replacement
+/// for `criterion_main!` in this workspace's bench binaries.
 #[macro_export]
 macro_rules! bench_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
             $crate::summary::emit();
+            $crate::summary::export_trace();
         }
     };
 }
@@ -81,9 +84,11 @@ pub mod summary {
         pub ns_per_iter: u64,
         /// Iterations measured.
         pub iters: u64,
-        /// `RAYON_NUM_THREADS` at measurement time (empty = default).
+        /// Worker threads the measurement ran with: `RAYON_NUM_THREADS`
+        /// when set, else the actual default pool width — never empty.
         pub rayon_threads: String,
-        /// `KCORE_TECHNIQUES` at measurement time (empty = default).
+        /// `KCORE_TECHNIQUES` at measurement time; `default` when the
+        /// override is unset (the baseline configuration).
         pub techniques: String,
     }
 
@@ -111,7 +116,14 @@ pub mod summary {
             return;
         }
         let bin = current_bin_stem();
-        let env = |k: &str| std::env::var(k).unwrap_or_default();
+        // Resolve the environment to what *effectively* ran, so entries
+        // never carry empty fields: an unset thread override means the
+        // default pool width, an unset techniques override means the
+        // baseline configuration.
+        let set = |k: &str| std::env::var(k).ok().filter(|v| !v.is_empty());
+        let rayon_threads =
+            set("RAYON_NUM_THREADS").unwrap_or_else(|| rayon::current_num_threads().to_string());
+        let techniques = set("KCORE_TECHNIQUES").unwrap_or_else(|| "default".to_string());
         let entries: Vec<Entry> = reports
             .into_iter()
             .map(|r| Entry {
@@ -119,8 +131,8 @@ pub mod summary {
                 bench: r.id,
                 ns_per_iter: r.ns_per_iter,
                 iters: r.iters,
-                rayon_threads: env("RAYON_NUM_THREADS"),
-                techniques: env("KCORE_TECHNIQUES"),
+                rayon_threads: rayon_threads.clone(),
+                techniques: techniques.clone(),
             })
             .collect();
         let path = output_path();
@@ -162,6 +174,35 @@ pub mod summary {
         writeln!(f, "  ]")?;
         writeln!(f, "}}")?;
         Ok(kept.len())
+    }
+
+    /// Writes the Chrome Trace Event export of everything `kcore-obs`
+    /// recorded during this bench binary to the path in
+    /// `KCORE_TRACE_OUT`. No-op when the variable is unset; a warning
+    /// when it is set but tracing was off (run with
+    /// `KCORE_TRACE=spans` to get a timeline). Load the file in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn export_trace() {
+        let Ok(path) = std::env::var("KCORE_TRACE_OUT") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        // Fold the scheduler tallies in so the trace's counter track
+        // carries the steal/split/park story next to the spans.
+        kcore_parallel::pool::publish_scheduler_metrics();
+        let report = kcore_obs::TraceReport::capture();
+        if report.is_empty() {
+            eprintln!(
+                "bench trace: nothing recorded (KCORE_TRACE={}); writing an empty trace to {path}",
+                kcore_obs::level().as_str()
+            );
+        }
+        match std::fs::write(&path, report.chrome_trace()) {
+            Ok(()) => eprintln!("bench trace: wrote {path}"),
+            Err(e) => eprintln!("bench trace: cannot write {path}: {e}"),
+        }
     }
 
     /// Results path: `KCORE_BENCH_JSON` if set, else

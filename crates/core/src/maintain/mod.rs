@@ -50,8 +50,8 @@ mod repeel;
 use crate::peel::engine::{Incidence, PeelEngine, PeelProblem};
 use crate::{Config, CorenessResult};
 use kcore_graph::{CsrGraph, OverlayGraph, VertexId};
+use kcore_obs::span;
 use kcore_parallel::RunStats;
-use std::time::Instant;
 
 /// Monotone version of a maintained decomposition: 0 right after
 /// construction, bumped once per batch that changed anything.
@@ -110,6 +110,32 @@ pub struct MaintainStats {
     pub repeel_nanos: u64,
     /// Time spent splicing results into the standing [`CorenessResult`].
     pub splice_nanos: u64,
+}
+
+impl MaintainStats {
+    /// Publish the batch's headline quantities as `maintain.*` gauges in
+    /// the `kcore-obs` metrics registry (no-op below
+    /// `KCORE_TRACE=counters`). The phase timings land next to the
+    /// `maintain.region`/`repeel`/`splice` spans they mirror.
+    pub fn publish_metrics(&self) {
+        kcore_obs::MetricsRegistry::publish(
+            "maintain",
+            &[
+                ("version", self.version),
+                ("inserted", self.inserted as u64),
+                ("deleted", self.deleted as u64),
+                ("seeds", self.seeds as u64),
+                ("candidates", self.candidates as u64),
+                ("region", self.region as u64),
+                ("ghosts", self.ghosts as u64),
+                ("full_recompute", self.full_recompute as u64),
+                ("compacted", self.compacted as u64),
+                ("region_nanos", self.region_nanos),
+                ("repeel_nanos", self.repeel_nanos),
+                ("splice_nanos", self.splice_nanos),
+            ],
+        );
+    }
 }
 
 /// Full k-core decomposition of the overlay's logical graph — the
@@ -271,15 +297,19 @@ impl DynamicGraph {
             return self.version();
         }
         let n = self.graph.num_vertices();
+        let _batch = span!("maintain.apply_batch", changed.len());
 
-        let t = Instant::now();
-        let region = region::affected_region(
-            &self.graph,
-            self.result.coreness(),
-            &changed,
-            stats.inserted > 0,
-        );
-        stats.region_nanos = t.elapsed().as_nanos() as u64;
+        // The phase timings always run off the obs monotonic clock;
+        // with tracing enabled each phase is also a visible child span.
+        let (region, region_nanos) = kcore_obs::timed("maintain.region", || {
+            region::affected_region(
+                &self.graph,
+                self.result.coreness(),
+                &changed,
+                stats.inserted > 0,
+            )
+        });
+        stats.region_nanos = region_nanos;
         stats.seeds = region.seeds;
         stats.candidates = region.candidates;
         stats.region = region.vertices.len();
@@ -288,37 +318,44 @@ impl DynamicGraph {
         // An oversized region forfeits the locality win; peel the whole
         // logical graph instead of paying for ghosts on half its arcs.
         stats.full_recompute = 2 * region.vertices.len() > n;
-        let t = Instant::now();
-        let (region_vertices, coreness) = if stats.full_recompute {
-            let (coreness, run) =
-                PeelEngine::new(&LogicalKCore { g: &self.graph }, self.config).run();
-            stats.repeel = run;
-            (None, coreness)
-        } else {
-            let sub = repeel::peel_subset(
-                &self.graph,
-                self.result.coreness(),
-                &region.vertices,
-                self.config,
-            );
-            stats.ghosts = sub.ghosts;
-            stats.repeel = sub.stats;
-            (Some(region.vertices), sub.coreness)
-        };
-        stats.repeel_nanos = t.elapsed().as_nanos() as u64;
+        let ((region_vertices, coreness), repeel_nanos) =
+            kcore_obs::timed("maintain.repeel", || {
+                if stats.full_recompute {
+                    let (coreness, run) =
+                        PeelEngine::new(&LogicalKCore { g: &self.graph }, self.config).run();
+                    stats.repeel = run;
+                    (None, coreness)
+                } else {
+                    let sub = repeel::peel_subset(
+                        &self.graph,
+                        self.result.coreness(),
+                        &region.vertices,
+                        self.config,
+                    );
+                    stats.ghosts = sub.ghosts;
+                    stats.repeel = sub.stats;
+                    (Some(region.vertices), sub.coreness)
+                }
+            });
+        stats.repeel_nanos = repeel_nanos;
 
-        let t = Instant::now();
-        stats.version = match region_vertices {
-            Some(vertices) => self.result.splice(n, vertices.into_iter().zip(coreness)),
-            None => self.result.splice(n, (0u32..).zip(coreness)),
-        };
-        self.result.set_stats(stats.repeel.clone());
-        stats.splice_nanos = t.elapsed().as_nanos() as u64;
+        let result = &mut self.result;
+        let (version, splice_nanos) = kcore_obs::timed("maintain.splice", || {
+            let version = match region_vertices {
+                Some(vertices) => result.splice(n, vertices.into_iter().zip(coreness)),
+                None => result.splice(n, (0u32..).zip(coreness)),
+            };
+            result.set_stats(stats.repeel.clone());
+            version
+        });
+        stats.version = version;
+        stats.splice_nanos = splice_nanos;
 
         if self.graph.dirty_fraction() > self.compaction_fraction {
             self.graph.compact();
             stats.compacted = true;
         }
+        stats.publish_metrics();
         self.last = stats;
         self.version()
     }

@@ -65,6 +65,7 @@ use crate::config::PeelMode;
 use crate::Config;
 use kcore_buckets::{BucketStrategy, BucketStructure, HierarchicalBuckets, PriorityView};
 use kcore_graph::CsrGraph;
+use kcore_obs::span;
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::{HashBag, RunStats, TechniqueCounters};
 use rayon::prelude::*;
@@ -372,13 +373,24 @@ impl<'p, P: PeelProblem> PeelEngine<'p, P> {
         let mut restarts = 0u64;
         loop {
             let mut stats = RunStats::default();
-            let attempt = match config.techniques.mode {
-                PeelMode::Online => online_run(&config, self.problem, &mut stats),
-                PeelMode::Offline(off) => Ok(offline::run(&config, off, self.problem, &mut stats)),
+            let attempt = {
+                // Run-root span, named after the problem (one per
+                // Las-Vegas attempt); round/subround spans nest inside.
+                let _run = kcore_obs::SpanGuard::begin_dyn(
+                    self.problem.name(),
+                    self.problem.num_elements() as u64,
+                );
+                match config.techniques.mode {
+                    PeelMode::Online => online_run(&config, self.problem, &mut stats),
+                    PeelMode::Offline(off) => {
+                        Ok(offline::run(&config, off, self.problem, &mut stats))
+                    }
+                }
             };
             match attempt {
                 Ok(rounds) => {
                     stats.restarts = restarts;
+                    stats.publish_metrics();
                     return self.problem.assemble(rounds, stats);
                 }
                 Err(Polluted) => {
@@ -516,6 +528,7 @@ fn online_unit<P: PeelProblem>(
     let mut k = 0u32;
     while remaining > 0 {
         assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let _round = span!("round", k);
         let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
@@ -525,7 +538,10 @@ fn online_unit<P: PeelProblem>(
             n,
             &view,
         );
-        let mut frontier = bucket.next_frontier(k, &view);
+        let mut frontier = {
+            let _drain = span!("bucket.drain", k);
+            bucket.next_frontier(k, &view)
+        };
         if let Some(s) = &sampling {
             // Sample-mode elements surface with their last recounted
             // priority; confirm it exactly before peeling them.
@@ -548,6 +564,7 @@ fn online_unit<P: PeelProblem>(
                 frontier = caught;
             }
             subrounds += 1;
+            let _subround = span!("subround", frontier.len());
             counters.reset_subround();
             remaining -= frontier.len();
             if collect_stats {
@@ -572,7 +589,10 @@ fn online_unit<P: PeelProblem>(
                 stats.work += counters.chased_work.load(Ordering::Relaxed);
                 stats.record_subround(1, counters.chain.get().max(1));
             }
-            frontier = bag.extract_all();
+            frontier = {
+                let _refile = span!("frontier.refile");
+                bag.extract_all()
+            };
         }
         if collect_stats {
             stats.record_round(subrounds);
@@ -672,6 +692,7 @@ fn online_threshold<P: PeelProblem>(
             u64::from(round) <= u64::from(max_prio) + 1,
             "threshold peeling stalled: {remaining} elements left after round {round}"
         );
+        let _round = span!("round", round);
         let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
@@ -686,22 +707,29 @@ fn online_threshold<P: PeelProblem>(
         // to the peel itself — and keeps the subround hot path free of
         // aggregate bookkeeping (survivor priorities are exact, see the
         // driver docs, so the scan is the true live sum).
-        let priority_sum: u64 = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                if settled[v].load(Ordering::Relaxed) == UNSET {
-                    prio[v].load(Ordering::Relaxed) as u64
-                } else {
-                    0
-                }
-            })
-            .sum();
+        let priority_sum: u64 = {
+            let _agg = span!("aggregates");
+            (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    if settled[v].load(Ordering::Relaxed) == UNSET {
+                        prio[v].load(Ordering::Relaxed) as u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
         let agg = RoundAggregates { round, remaining, priority_sum, floor: floor_next };
         let t = policy.threshold(&agg).max(floor_next);
-        let mut frontier = bucket.drain_threshold(t, &view);
+        let mut frontier = {
+            let _drain = span!("bucket.drain", t);
+            bucket.drain_threshold(t, &view)
+        };
         let mut subrounds = 0u32;
         while !frontier.is_empty() {
             subrounds += 1;
+            let _subround = span!("subround", frontier.len());
             counters.reset_subround();
             remaining -= frontier.len();
             if collect_stats {
@@ -726,7 +754,10 @@ fn online_threshold<P: PeelProblem>(
                 stats.work += counters.chased_work.load(Ordering::Relaxed);
                 stats.record_subround(1, counters.chain.get().max(1));
             }
-            frontier = bag.extract_all();
+            frontier = {
+                let _refile = span!("frontier.refile");
+                bag.extract_all()
+            };
         }
         if collect_stats {
             stats.record_round(subrounds);
@@ -774,6 +805,7 @@ fn online_recompute<P: PeelProblem>(
     let mut k = 0u32;
     while remaining > 0 {
         assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let _round = span!("round", k);
         let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
@@ -783,23 +815,30 @@ fn online_recompute<P: PeelProblem>(
             n,
             &view,
         );
-        let mut frontier = bucket.next_frontier(k, &view);
+        let mut frontier = {
+            let _drain = span!("bucket.drain", k);
+            bucket.next_frontier(k, &view)
+        };
         let mut subrounds = 0u32;
         while !frontier.is_empty() {
             subrounds += 1;
             subround_id += 1;
+            let _subround = span!("subround", frontier.len());
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
                 recomputes.store(0, Ordering::Relaxed);
             }
             // Phase 1: settle — every stamp lands before any recompute.
+            let settle_span = span!("settle", frontier.len());
             frontier.par_iter().for_each(|&e| {
                 settled[e as usize].store(k, Ordering::Relaxed);
                 stamps[e as usize].store(subround_id, Ordering::Relaxed);
                 problem.on_settle(e, k);
             });
+            drop(settle_span);
             // Phase 2: recompute affected priorities from the snapshot.
+            let recompute_span = span!("recompute", frontier.len());
             let sview = SettleView { stamps: &stamps, current: subround_id };
             frontier.par_iter().for_each(|&e| {
                 let mut local = 0u64;
@@ -826,11 +865,15 @@ fn online_recompute<P: PeelProblem>(
                     recomputes.fetch_add(local, Ordering::Relaxed);
                 }
             });
+            drop(recompute_span);
             if collect_stats {
                 stats.work += frontier.len() as u64 + recomputes.load(Ordering::Relaxed);
                 stats.record_subround(2, 1);
             }
-            frontier = bag.extract_all();
+            frontier = {
+                let _refile = span!("frontier.refile");
+                bag.extract_all()
+            };
         }
         if collect_stats {
             stats.record_round(subrounds);
@@ -871,6 +914,7 @@ fn online_snapshot<P: PeelProblem>(
     let mut k = 0u32;
     while remaining > 0 {
         assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let _round = span!("round", k);
         let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
@@ -880,23 +924,30 @@ fn online_snapshot<P: PeelProblem>(
             n,
             &view,
         );
-        let mut frontier = bucket.next_frontier(k, &view);
+        let mut frontier = {
+            let _drain = span!("bucket.drain", k);
+            bucket.next_frontier(k, &view)
+        };
         let mut subrounds = 0u32;
         while !frontier.is_empty() {
             subrounds += 1;
             subround_id += 1;
+            let _subround = span!("subround", frontier.len());
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
                 emitted.store(0, Ordering::Relaxed);
             }
             // Phase 1: settle — every stamp lands before any rule runs.
+            let settle_span = span!("settle", frontier.len());
             frontier.par_iter().for_each(|&e| {
                 settled[e as usize].store(k, Ordering::Relaxed);
                 stamps[e as usize].store(subround_id, Ordering::Relaxed);
                 problem.on_settle(e, k);
             });
+            drop(settle_span);
             // Phase 2: evaluate the rule against the frozen snapshot.
+            let rule_span = span!("rule", frontier.len());
             let sview = SettleView { stamps: &stamps, current: subround_id };
             frontier.par_iter().for_each(|&e| {
                 let mut local = 0u64;
@@ -916,11 +967,15 @@ fn online_snapshot<P: PeelProblem>(
                     emitted.fetch_add(local, Ordering::Relaxed);
                 }
             });
+            drop(rule_span);
             if collect_stats {
                 stats.work += frontier.len() as u64 + emitted.load(Ordering::Relaxed);
                 stats.record_subround(2, 1);
             }
-            frontier = bag.extract_all();
+            frontier = {
+                let _refile = span!("frontier.refile");
+                bag.extract_all()
+            };
         }
         if collect_stats {
             stats.record_round(subrounds);

@@ -37,6 +37,7 @@ use super::engine::{
 };
 use crate::config::{Config, HistogramKind, Offline};
 use kcore_buckets::{BucketStrategy, BucketStructure, SingleBucket};
+use kcore_obs::span;
 use kcore_parallel::histogram::{histogram_atomic, histogram_auto, histogram_sort};
 use kcore_parallel::RunStats;
 use rayon::prelude::*;
@@ -77,6 +78,7 @@ pub(crate) fn run<P: PeelProblem>(
     let mut k = 0u32;
     while remaining > 0 {
         assert!(k <= max_prio, "peeling stalled: {remaining} elements left after round {max_prio}");
+        let _round = span!("round", k);
         let view = LiveView { prio: &prio, settled: &settled };
         upgrade_adaptive_if_due(
             &mut bucket,
@@ -86,11 +88,15 @@ pub(crate) fn run<P: PeelProblem>(
             n,
             &view,
         );
-        let mut frontier = bucket.next_frontier(k, &view);
+        let mut frontier = {
+            let _drain = span!("bucket.drain", k);
+            bucket.next_frontier(k, &view)
+        };
         let mut subrounds = 0u32;
         while !frontier.is_empty() {
             subrounds += 1;
             subround_id += 1;
+            let _subround = span!("subround", frontier.len());
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
@@ -106,6 +112,7 @@ pub(crate) fn run<P: PeelProblem>(
             }
             // 1. settle — exclusive phase, so the gather below reads a
             // stable snapshot.
+            let settle_span = span!("settle", frontier.len());
             frontier.par_iter().for_each(|&v| {
                 settled[v as usize].store(k, Ordering::Relaxed);
                 if let Incidence::Snapshot(_) = incidence {
@@ -113,7 +120,9 @@ pub(crate) fn run<P: PeelProblem>(
                 }
                 problem.on_settle(v, k);
             });
+            drop(settle_span);
             // 2. gather the decrement list, with duplicates.
+            let gather_span = span!("offline.gather", frontier.len());
             let gathered = match incidence {
                 Incidence::Unit(inc) => gather_live(inc, &frontier, &settled),
                 Incidence::Snapshot(rule) => {
@@ -124,17 +133,21 @@ pub(crate) fn run<P: PeelProblem>(
                     unreachable!("offline driver rejected for Incidence::Recompute")
                 }
             };
+            drop(gather_span);
             if collect_stats {
                 if let Incidence::Snapshot(_) = incidence {
                     stats.work += gathered.len() as u64;
                 }
             }
             // 3. histogram it.
+            let hist_span = span!("offline.histogram", gathered.len());
             let hist = run_histogram(off.histogram, gathered, n);
+            drop(hist_span);
             if collect_stats {
                 stats.work += hist.len() as u64;
             }
             // 4. apply bulk decrements; hits on k form the next frontier.
+            let apply_span = span!("offline.apply", hist.len());
             frontier = hist
                 .par_iter()
                 .filter_map(|&(u, c)| {
@@ -154,6 +167,7 @@ pub(crate) fn run<P: PeelProblem>(
                     }
                 })
                 .collect();
+            drop(apply_span);
             if collect_stats {
                 stats.record_subround(3, 1);
             }

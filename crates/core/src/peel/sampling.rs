@@ -74,6 +74,7 @@
 use super::engine::{OnlineCtx, PeelProblem, Polluted, UnitIncidence, UNSET};
 use crate::config::{Sampling, Validation};
 use kcore_buckets::BucketStructure;
+use kcore_obs::{counter, span};
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::TechniqueCounters;
 use rayon::prelude::*;
@@ -201,7 +202,7 @@ impl SamplingState {
             // claimed for this round.
             return;
         }
-        ctx.counters.resamples.fetch_add(1, Ordering::Relaxed);
+        counter!(ctx.counters.resamples, "sampling.resamples", 1);
         let (exact, fresh) = self.count_exact(u, ctx.inc, ctx.settled);
         if exact <= k {
             // The round-start invariant puts the priority at >= k when
@@ -232,6 +233,7 @@ impl SamplingState {
         settled: &[AtomicU32],
         counters: &TechniqueCounters,
     ) -> Result<(), Polluted> {
+        let _validate = span!("sampling.validate_frontier", frontier.len());
         let polluted = AtomicBool::new(false);
         frontier.par_iter().for_each(|&v| {
             let state = self.state[v as usize].load(Ordering::Relaxed);
@@ -239,7 +241,7 @@ impl SamplingState {
             if state != SAMPLED {
                 return;
             }
-            counters.resamples.fetch_add(1, Ordering::Relaxed);
+            counter!(counters.resamples, "sampling.resamples", 1);
             let (exact, _) = self.count_exact(v, inc, settled);
             if exact < k {
                 polluted.store(true, Ordering::Relaxed);
@@ -272,6 +274,7 @@ impl SamplingState {
         counters: &TechniqueCounters,
     ) -> Vec<u32> {
         self.sampled.retain(|&v| settled[v as usize].load(Ordering::Relaxed) == UNSET);
+        let _validate = span!("sampling.validate_round_end", self.sampled.len());
         let full = self.cfg.validation == Validation::Full;
         let vwm = self.validation_watermark(k);
         let this = &*self;
@@ -284,8 +287,8 @@ impl SamplingState {
                 if !full && this.approx[v as usize].load(Ordering::Relaxed) > vwm {
                     return None;
                 }
-                counters.validate_calls.fetch_add(1, Ordering::Relaxed);
-                counters.resamples.fetch_add(1, Ordering::Relaxed);
+                counter!(counters.validate_calls, "sampling.validate_calls", 1);
+                counter!(counters.resamples, "sampling.resamples", 1);
                 let (exact, fresh) = this.count_exact(v, inc, settled);
                 if exact <= k {
                     this.state[v as usize].store(CLAIMED, Ordering::Relaxed);

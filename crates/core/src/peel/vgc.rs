@@ -27,6 +27,7 @@
 //! lists commute, so no settle barrier is needed.
 
 use super::engine::{clamped_decrement, OnlineCtx, PeelProblem};
+use kcore_obs::{counter, gauge_max};
 use std::sync::atomic::Ordering;
 
 /// Settles `v` at round `round`, processes its removals, and — with
@@ -92,8 +93,8 @@ pub(crate) fn peel_from<P: PeelProblem>(ctx: &OnlineCtx<'_, P>, v: u32, round: u
         }
     }
     if chased > 0 {
-        ctx.counters.chased.fetch_add(chased, Ordering::Relaxed);
-        ctx.counters.chased_work.fetch_add(chased_work, Ordering::Relaxed);
-        ctx.counters.chain.update(chased);
+        counter!(ctx.counters.chased, "vgc.chased", chased);
+        counter!(ctx.counters.chased_work, "vgc.chased_work", chased_work);
+        gauge_max!(ctx.counters.chain, "vgc.chain", chased);
     }
 }

@@ -1,0 +1,118 @@
+//! Span-structure tests for the `kcore-obs` integration: the span tree
+//! of a fixed k-core run is pinned (names, nesting, counts — never
+//! timings), and the trace's round/subround span counts are required to
+//! agree exactly with the engine's own `RunStats` accounting.
+//!
+//! Tests here force the trace level programmatically and use
+//! `exact_config`, so the `KCORE_TRACE` / `KCORE_TECHNIQUES` CI matrix
+//! legs cannot change what gets recorded. Each test runs its engine in
+//! a dedicated thread and scopes assertions to that thread's trace id;
+//! a shared lock serializes them because the recorder is process-global.
+
+use kcore::{Config, Decomposition};
+use kcore_graph::gen;
+use kcore_obs::{set_level, Level, TraceReport};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` in a fresh thread with spans enabled and returns its result
+/// plus the trace id the thread recorded under.
+fn traced<T: Send>(f: impl FnOnce() -> T + Send) -> (T, u32) {
+    set_level(Level::Spans);
+    kcore_obs::reset();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let out = f();
+            let tid = TraceReport::current_tid().expect("the run must have recorded spans");
+            (out, tid)
+        })
+        .join()
+        .unwrap()
+    })
+}
+
+#[test]
+fn span_tree_of_a_fixed_minbucket_kcore_run_is_pinned() {
+    let _g = serial();
+    let g = gen::barabasi_albert(300, 3, 7);
+    let (result, tid) = traced(|| Decomposition::kcore(&g).exact_config(Config::default()).run());
+    let report = TraceReport::capture();
+    set_level(Level::Off);
+
+    let stats = result.stats();
+    // The default MinBucket unit driver emits one `round` (and one
+    // bucket drain) per k value, one `subround` (and one refile) per
+    // frontier wave — exactly the quantities RunStats counts.
+    let expected = format!(
+        "k-core x1\n\
+         \x20 round x{rounds}\n\
+         \x20   bucket.drain x{rounds}\n\
+         \x20   subround x{subrounds}\n\
+         \x20     frontier.refile x{subrounds}\n",
+        rounds = stats.rounds,
+        subrounds = stats.subrounds,
+    );
+    assert_eq!(report.span_tree(tid), expected);
+}
+
+#[test]
+fn ba3000_span_counts_match_run_stats_exactly() {
+    let _g = serial();
+    // The acceptance instance: a ba-3000 k-core run under
+    // KCORE_TRACE=spans must produce a Chrome trace whose round and
+    // subround span counts equal RunStats.rounds / .subrounds.
+    let g = gen::barabasi_albert(3000, 4, 42);
+    let (result, _tid) = traced(|| Decomposition::kcore(&g).exact_config(Config::default()).run());
+    let report = TraceReport::capture();
+    set_level(Level::Off);
+
+    let stats = result.stats();
+    assert!(stats.rounds > 0 && stats.subrounds > 0);
+    assert_eq!(report.span_count("round"), stats.rounds, "round spans vs RunStats.rounds");
+    assert_eq!(
+        report.span_count("subround"),
+        stats.subrounds,
+        "subround spans vs RunStats.subrounds"
+    );
+    assert_eq!(report.dropped, 0, "a ba-3000 run must fit the ring");
+
+    // The same counts must survive the Chrome export verbatim.
+    let chrome = report.chrome_trace();
+    let begins =
+        |name: &str| chrome.matches(&format!("{{\"name\":\"{name}\",\"ph\":\"B\"")).count();
+    assert_eq!(begins("round") as u64, stats.rounds);
+    assert_eq!(begins("subround") as u64, stats.subrounds);
+
+    // publish_metrics ran inside the engine, so the gauges mirror the
+    // same numbers in the unified metrics document.
+    let gauge = |name: &str| {
+        report.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or_else(|| {
+            panic!("gauge {name} missing from {:?}", report.gauges);
+        })
+    };
+    assert_eq!(gauge("run.rounds"), stats.rounds);
+    assert_eq!(gauge("run.subrounds"), stats.subrounds);
+}
+
+#[test]
+fn offline_driver_shows_gather_histogram_apply_children() {
+    let _g = serial();
+    let g = gen::barabasi_albert(400, 3, 11);
+    let config = Config::with_techniques(kcore::Techniques::offline());
+    let (result, tid) = traced(|| Decomposition::kcore(&g).exact_config(config).run());
+    let report = TraceReport::capture();
+    set_level(Level::Off);
+
+    let stats = result.stats();
+    let tree = report.span_tree(tid);
+    // Every offline subround runs the three bulk phases once, as
+    // visible children of `subround`.
+    for phase in ["offline.gather", "offline.histogram", "offline.apply"] {
+        let line = format!("{phase} x{}", stats.subrounds);
+        assert!(tree.contains(&line), "expected {line:?} in tree:\n{tree}");
+    }
+    assert_eq!(report.span_count("subround"), stats.subrounds);
+}

@@ -113,6 +113,30 @@ impl RunStats {
     pub fn predicted_speedup(&self, p: u64) -> f64 {
         self.predicted_time(1) as f64 / self.predicted_time(p) as f64
     }
+
+    /// Publish every field as a `run.*` gauge in the `kcore-obs`
+    /// metrics registry (no-op below `KCORE_TRACE=counters`), so a
+    /// [`kcore_obs::TraceReport`] carries the run's structural stats
+    /// next to the span timeline.
+    pub fn publish_metrics(&self) {
+        kcore_obs::MetricsRegistry::publish(
+            "run",
+            &[
+                ("rounds", self.rounds),
+                ("subrounds", self.subrounds),
+                ("global_syncs", self.global_syncs),
+                ("work", self.work),
+                ("burdened_span", self.burdened_span),
+                ("max_frontier", self.max_frontier as u64),
+                ("peak_chain", self.peak_chain),
+                ("sampled_vertices", self.sampled_vertices),
+                ("resamples", self.resamples),
+                ("validate_calls", self.validate_calls),
+                ("restarts", self.restarts),
+                ("max_updates_per_location", self.max_updates_per_location),
+            ],
+        );
+    }
 }
 
 /// Atomic counters shared by the worker threads of one peeling run,

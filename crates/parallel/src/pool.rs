@@ -34,21 +34,44 @@ pub fn default_threads() -> usize {
 /// Work-stealing scheduler counters (monotonic, process-wide).
 ///
 /// `steals` counts tasks taken from another worker's deque; `splits`
-/// counts range tasks halved to publish stealable work. Both come from
-/// the offline rayon shim's runtime — when swapping in the real rayon
-/// crate, this module is the one shim-specific consumer to gate.
+/// counts range tasks halved to publish stealable work; `parks`/`wakes`
+/// count worker sleep episodes entered/exited on the idle condvar. All
+/// come from the offline rayon shim's runtime — when swapping in the
+/// real rayon crate, this module is the one shim-specific consumer to
+/// gate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Tasks executed by a worker other than the one that published them.
     pub steals: u64,
     /// Task splits performed to expose stealable work.
     pub splits: u64,
+    /// Worker sleep episodes entered (no work found anywhere).
+    pub parks: u64,
+    /// Worker sleep episodes exited; `wakes <= parks` always.
+    pub wakes: u64,
 }
+
+/// Per-worker scheduler tallies (same fields as [`SchedulerStats`]),
+/// indexed by worker, re-exported from the shim runtime.
+pub use rayon::stats::WorkerSnapshot as WorkerStats;
 
 /// Reads the scheduler counters accumulated since process start.
 pub fn scheduler_stats() -> SchedulerStats {
     let snap = rayon::stats::snapshot();
-    SchedulerStats { steals: snap.steals, splits: snap.splits }
+    SchedulerStats {
+        steals: snap.steals,
+        splits: snap.splits,
+        parks: snap.parks,
+        wakes: snap.wakes,
+    }
+}
+
+/// Per-worker tallies of the effective pool: the calling worker's own
+/// pool inside [`with_threads`], else the global one. The process-wide
+/// [`scheduler_stats`] totals are the sums of these over *all* pools
+/// ever created.
+pub fn per_worker_stats() -> Vec<WorkerStats> {
+    rayon::stats::per_worker()
 }
 
 /// Runs `f` and returns its result along with the steal/split activity
@@ -64,8 +87,27 @@ pub fn scheduler_delta<T>(f: impl FnOnce() -> T) -> (T, SchedulerStats) {
         SchedulerStats {
             steals: after.steals - before.steals,
             splits: after.splits - before.splits,
+            parks: after.parks - before.parks,
+            wakes: after.wakes - before.wakes,
         },
     )
+}
+
+/// Publish the current [`scheduler_stats`] totals and per-worker
+/// breakdown into the `kcore-obs` metrics registry (`scheduler.*`
+/// gauges). No-op below `KCORE_TRACE=counters`.
+pub fn publish_scheduler_metrics() {
+    let s = scheduler_stats();
+    kcore_obs::MetricsRegistry::publish(
+        "scheduler",
+        &[("steals", s.steals), ("splits", s.splits), ("parks", s.parks), ("wakes", s.wakes)],
+    );
+    for (i, w) in per_worker_stats().iter().enumerate() {
+        kcore_obs::MetricsRegistry::publish(
+            &format!("scheduler.worker{i}"),
+            &[("steals", w.steals), ("splits", w.splits), ("parks", w.parks), ("wakes", w.wakes)],
+        );
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +153,32 @@ mod tests {
         });
         assert_eq!(sum, (0..200_000u64).map(|x| x ^ 1).sum::<u64>());
         assert!(delta.splits > 0, "a 200k-element job on 4 threads must split");
+    }
+
+    #[test]
+    fn per_worker_tallies_cover_the_effective_pool() {
+        let per = with_threads(3, || {
+            let _: u64 = (0..200_000u64).into_par_iter().map(|x| x | 1).sum();
+            per_worker_stats()
+        });
+        assert_eq!(per.len(), 3, "one tally set per worker");
+        let total = scheduler_stats();
+        let splits: u64 = per.iter().map(|w| w.splits).sum();
+        let steals: u64 = per.iter().map(|w| w.steals).sum();
+        assert!(splits <= total.splits && steals <= total.steals);
+        for w in &per {
+            assert!(w.wakes <= w.parks, "a wake can only follow its park");
+        }
+    }
+
+    #[test]
+    fn wakes_never_exceed_parks() {
+        let (_, delta) = scheduler_delta(|| {
+            with_threads(2, || (0..100_000u64).into_par_iter().map(|x| x ^ 3).sum::<u64>())
+        });
+        let _ = delta;
+        let s = scheduler_stats();
+        assert!(s.wakes <= s.parks);
     }
 
     #[test]

@@ -58,21 +58,43 @@ pub mod prelude {
     };
 }
 
-/// Scheduler introspection: process-wide steal/split counters. Not part
-/// of the real rayon API — consumers must gate on the shim.
+/// Scheduler introspection: process-wide and per-worker
+/// steal/split/park/wake counters. Not part of the real rayon API —
+/// consumers must gate on the shim.
 pub mod stats {
-    /// Monotonic counters since process start.
+    pub use crate::registry::WorkerSnapshot;
+
+    /// Monotonic counters since process start, summed over every
+    /// registry (global pool and explicit [`crate::ThreadPool`]s).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Snapshot {
         /// Tasks taken from another worker's deque.
         pub steals: u64,
         /// Range tasks halved to publish stealable work.
         pub splits: u64,
+        /// Worker sleep episodes entered (condvar parks).
+        pub parks: u64,
+        /// Worker sleep episodes returned from; `wakes <= parks`
+        /// always, with equality once a pool is idle or shut down.
+        pub wakes: u64,
     }
 
     /// Reads the current counter values.
     pub fn snapshot() -> Snapshot {
-        Snapshot { steals: crate::registry::steal_count(), splits: crate::registry::split_count() }
+        Snapshot {
+            steals: crate::registry::steal_count(),
+            splits: crate::registry::split_count(),
+            parks: crate::registry::park_count(),
+            wakes: crate::registry::wake_count(),
+        }
+    }
+
+    /// Per-worker tallies of the *effective* registry: the calling
+    /// worker's own pool on a pool thread (e.g. inside
+    /// [`crate::ThreadPool::install`]), else the lazily created
+    /// global pool. Indexed by worker.
+    pub fn per_worker() -> Vec<WorkerSnapshot> {
+        crate::effective_registry().worker_snapshots()
     }
 }
 

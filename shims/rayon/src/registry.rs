@@ -24,7 +24,8 @@
 //!   generation only when a sleeper is registered (Dekker-style
 //!   store/load fencing keeps the handshake missed-wakeup-free).
 //!
-//! The [`steal_count`]/[`split_count`] counters feed
+//! The [`steal_count`]/[`split_count`]/[`park_count`]/[`wake_count`]
+//! totals (and the per-worker breakdowns on each registry) feed
 //! `kcore_parallel::pool::scheduler_stats`.
 
 use crate::deque::Deque;
@@ -38,6 +39,11 @@ static STEALS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of task splits (a range task halved to publish
 /// stealable work).
 static SPLITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of worker sleep episodes (a worker committing to
+/// the condvar after finding no work).
+static PARKS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of workers returning from a sleep episode.
+static WAKES: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the scheduler's global counters.
 pub fn steal_count() -> u64 {
@@ -47,6 +53,40 @@ pub fn steal_count() -> u64 {
 /// See [`steal_count`].
 pub fn split_count() -> u64 {
     SPLITS.load(Ordering::Relaxed)
+}
+
+/// See [`steal_count`].
+pub fn park_count() -> u64 {
+    PARKS.load(Ordering::Relaxed)
+}
+
+/// See [`steal_count`].
+pub fn wake_count() -> u64 {
+    WAKES.load(Ordering::Relaxed)
+}
+
+/// Per-worker scheduler tallies, one set per deque of a registry.
+/// The process-wide statics above are the sums of these across every
+/// registry ever created.
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    steals: AtomicU64,
+    splits: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+}
+
+/// Plain-value copy of one worker's [`WorkerCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSnapshot {
+    /// Tasks this worker took from a sibling's deque.
+    pub steals: u64,
+    /// Range tasks this worker halved to publish stealable work.
+    pub splits: u64,
+    /// Sleep episodes (condvar waits) this worker entered.
+    pub parks: u64,
+    /// Sleep episodes this worker returned from.
+    pub wakes: u64,
 }
 
 /// A unit of schedulable work: an erased job pointer plus the index
@@ -126,6 +166,8 @@ struct Sleep {
 pub(crate) struct RegistryShared {
     threads: usize,
     deques: Vec<Deque>,
+    /// Per-worker steal/split/park/wake tallies, indexed like `deques`.
+    workers: Vec<WorkerCounters>,
     injected: Mutex<VecDeque<Task>>,
     /// Fast-path emptiness check for the injector (len of `injected`).
     injected_len: AtomicUsize,
@@ -202,15 +244,29 @@ impl RegistryShared {
     /// recursive `install` between two pools can deadlock if every
     /// worker of each pool blocks on the other (no workspace call site
     /// nests pools this way).
-    fn steal_any(&self, start: usize) -> Option<Task> {
+    fn steal_any(&self, thief: usize) -> Option<Task> {
         let n = self.deques.len();
         for off in 0..n {
-            if let Some(task) = self.deques[(start + off) % n].steal() {
+            if let Some(task) = self.deques[(thief + 1 + off) % n].steal() {
                 STEALS.fetch_add(1, Ordering::Relaxed);
+                self.workers[thief].steals.fetch_add(1, Ordering::Relaxed);
                 return Some(task);
             }
         }
         None
+    }
+
+    /// Plain-value copy of every worker's tallies (indexed by worker).
+    pub(crate) fn worker_snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.workers
+            .iter()
+            .map(|w| WorkerSnapshot {
+                steals: w.steals.load(Ordering::Relaxed),
+                splits: w.splits.load(Ordering::Relaxed),
+                parks: w.parks.load(Ordering::Relaxed),
+                wakes: w.wakes.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -236,6 +292,7 @@ pub(crate) fn execute(shared: &RegistryShared, index: usize, mut task: Task) {
             match shared.deques[index].push(upper) {
                 Ok(()) => {
                     SPLITS.fetch_add(1, Ordering::Relaxed);
+                    shared.workers[index].splits.fetch_add(1, Ordering::Relaxed);
                     task.hi = mid;
                     shared.signal_stealable();
                 }
@@ -256,7 +313,7 @@ pub(crate) fn find_task(shared: &RegistryShared, index: usize) -> Option<Task> {
     if let Some(task) = shared.pop_injected() {
         return Some(task);
     }
-    shared.steal_any(index + 1)
+    shared.steal_any(index)
 }
 
 /// Runs tasks until `done` reports true. Must be called on the worker
@@ -301,11 +358,17 @@ fn worker_main(shared: Arc<RegistryShared>, index: usize) {
             execute(&shared, index, task);
             continue;
         }
+        // One park/wake pair per committed sleep episode (spurious
+        // condvar wakeups inside the loop are not separate episodes).
+        PARKS.fetch_add(1, Ordering::Relaxed);
+        shared.workers[index].parks.fetch_add(1, Ordering::Relaxed);
         let mut guard = shared.sleep.generation.lock().expect("sleep lock poisoned");
         while *guard == generation && !shared.shutdown.load(Ordering::Acquire) {
             guard = shared.sleep.cv.wait(guard).expect("sleep lock poisoned");
         }
         drop(guard);
+        WAKES.fetch_add(1, Ordering::Relaxed);
+        shared.workers[index].wakes.fetch_add(1, Ordering::Relaxed);
         shared.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
     WORKER.with(|w| *w.borrow_mut() = None);
@@ -324,6 +387,7 @@ impl Registry {
         let shared = Arc::new(RegistryShared {
             threads,
             deques: (0..threads).map(|_| Deque::new()).collect(),
+            workers: (0..threads).map(|_| WorkerCounters::default()).collect(),
             injected: Mutex::new(VecDeque::new()),
             injected_len: AtomicUsize::new(0),
             sleep: Sleep {

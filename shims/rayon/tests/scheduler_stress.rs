@@ -164,6 +164,36 @@ fn join_propagates_branch_panics() {
 }
 
 #[test]
+fn per_worker_counters_relate_sanely() {
+    // A fresh pool starts with zeroed per-worker tallies, so the sums
+    // observed inside `install` are attributable to this pool alone.
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    const OPS: u64 = 3;
+    let per = pool.install(|| {
+        for _ in 0..OPS {
+            let sum: u64 = (0..60_000u64).into_par_iter().map(|x| x ^ 5).sum();
+            assert_eq!(sum, (0..60_000u64).map(|x| x ^ 5).sum());
+        }
+        stats::per_worker()
+    });
+    assert_eq!(per.len(), 4, "one tally set per worker");
+    let steals: u64 = per.iter().map(|w| w.steals).sum();
+    let splits: u64 = per.iter().map(|w| w.splits).sum();
+    assert!(splits > 0, "60k-element jobs on 4 threads must split");
+    // Everything ever stolen was published on a deque either by a
+    // split or as one of the OPS seeded root tasks — there is no other
+    // deque producer, so steals can never outrun splits by more than
+    // the root-task count.
+    assert!(
+        steals <= splits + OPS,
+        "steals ({steals}) exceed published stealable tasks (splits {splits} + {OPS} roots)"
+    );
+    for (i, w) in per.iter().enumerate() {
+        assert!(w.wakes <= w.parks, "worker {i}: wake ({}) without a park ({})", w.wakes, w.parks);
+    }
+}
+
+#[test]
 fn concurrent_pools_do_not_interfere() {
     // Two pools driven from two OS threads at once: jobs must stay in
     // their own registries and both must produce exact results.

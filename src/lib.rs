@@ -30,6 +30,9 @@
 //!   instrumentation ([`kcore_parallel`]).
 //! * [`buckets`] — bucketing structures over opaque elements and
 //!   priorities, including HBS ([`kcore_buckets`]).
+//! * [`obs`] — first-party tracing and metrics: `span!`/`counter!`
+//!   macros over lock-free per-thread rings, `KCORE_TRACE` runtime
+//!   gating, Chrome-trace and metrics-JSON export ([`kcore_obs`]).
 //! * [`core`] — the peel engine and its problems: k-core, k-truss,
 //!   densest subgraph, and the sequential oracles they are tested
 //!   against ([`kcore`]).
@@ -70,6 +73,7 @@
 pub use kcore as core;
 pub use kcore_buckets as buckets;
 pub use kcore_graph as graph;
+pub use kcore_obs as obs;
 pub use kcore_parallel as parallel;
 
 /// Convenience re-export of the most common entry points.
