@@ -20,7 +20,7 @@
 
 use crate::{BucketStructure, PriorityView};
 use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicU32, Ordering};
+use kcore_check::sync::atomic::{AtomicU32, Ordering};
 
 /// Exact single-key buckets before the exponential tail (the paper uses
 /// eight).

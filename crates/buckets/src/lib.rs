@@ -169,7 +169,7 @@ impl std::fmt::Display for BucketStrategy {
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::PriorityView;
-    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use kcore_check::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
     /// A mutable priority table for driving bucket structures in tests.
     pub struct TestView {

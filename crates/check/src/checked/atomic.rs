@@ -1,0 +1,353 @@
+//! Instrumented atomics. Each wraps the real `std` atomic; inside a
+//! model, operations park at a scheduling point and run against the
+//! location's store history (so loads can observe stale-but-coherent
+//! values), and the newest modeled value is mirrored back into the real
+//! atomic so `get_mut`/`into_inner`/`Drop` stay consistent at
+//! quiescence. `compare_exchange_weak` never fails spuriously inside a
+//! model (modeled as the strong variant; sound for bug *finding*).
+
+use crate::exec;
+use std::sync::atomic::Ordering;
+
+macro_rules! checked_atomic_int {
+    ($name:ident, $ty:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            real: std::sync::atomic::$name,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self { real: std::sync::atomic::$name::new(v) }
+            }
+
+            #[inline]
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            #[inline]
+            fn seed(&self) -> u64 {
+                self.real.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match exec::current() {
+                    Some((e, t)) => e.atomic_load(t, self.addr(), ord, self.seed()) as $ty,
+                    None => self.real.load(ord),
+                }
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                match exec::current() {
+                    Some((e, t)) => {
+                        e.atomic_store(t, self.addr(), ord, v as u64, self.seed());
+                        self.real.store(v, Ordering::Relaxed);
+                    }
+                    None => self.real.store(v, ord),
+                }
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |_| v, |real| real.swap(v, ord))
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.wrapping_add(v), |real| real.fetch_add(v, ord))
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.wrapping_sub(v), |real| real.fetch_sub(v, ord))
+            }
+
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old | v, |real| real.fetch_or(v, ord))
+            }
+
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old & v, |real| real.fetch_and(v, ord))
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.max(v), |real| real.fetch_max(v, ord))
+            }
+
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.min(v), |real| real.fetch_min(v, ord))
+            }
+
+            #[inline]
+            fn rmw(
+                &self,
+                ord: Ordering,
+                f: impl FnOnce($ty) -> $ty,
+                fallback: impl FnOnce(&std::sync::atomic::$name) -> $ty,
+            ) -> $ty {
+                match exec::current() {
+                    Some((e, t)) => {
+                        let (old, new) =
+                            e.atomic_rmw(t, self.addr(), ord, self.seed(), |o| f(o as $ty) as u64);
+                        self.real.store(new as $ty, Ordering::Relaxed);
+                        old as $ty
+                    }
+                    None => fallback(&self.real),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match exec::current() {
+                    Some((e, t)) => {
+                        let r = e.atomic_cas(
+                            t,
+                            self.addr(),
+                            success,
+                            failure,
+                            current as u64,
+                            new as u64,
+                            self.seed(),
+                        );
+                        if r.is_ok() {
+                            self.real.store(new, Ordering::Relaxed);
+                        }
+                        r.map(|x| x as $ty).map_err(|x| x as $ty)
+                    }
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match exec::current() {
+                    Some(_) => self.compare_exchange(current, new, success, failure),
+                    None => self.real.compare_exchange_weak(current, new, success, failure),
+                }
+            }
+
+            /// std's CAS-loop shape, expressed through the instrumented
+            /// load/CAS so every iteration is a scheduling point.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                let mut prev = self.load(fetch_order);
+                while let Some(next) = f(prev) {
+                    match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                        Ok(x) => return Ok(x),
+                        Err(next_prev) => prev = next_prev,
+                    }
+                }
+                Err(prev)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.real.get_mut()
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.real.into_inner()
+            }
+        }
+    };
+}
+
+checked_atomic_int!(AtomicUsize, usize);
+checked_atomic_int!(AtomicIsize, isize);
+checked_atomic_int!(AtomicU8, u8);
+checked_atomic_int!(AtomicU32, u32);
+checked_atomic_int!(AtomicU64, u64);
+
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self { real: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    #[inline]
+    fn seed(&self) -> u64 {
+        self.real.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match exec::current() {
+            Some((e, t)) => e.atomic_load(t, self.addr(), ord, self.seed()) != 0,
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match exec::current() {
+            Some((e, t)) => {
+                e.atomic_store(t, self.addr(), ord, v as u64, self.seed());
+                self.real.store(v, Ordering::Relaxed);
+            }
+            None => self.real.store(v, ord),
+        }
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match exec::current() {
+            Some((e, t)) => {
+                let (old, _) = e.atomic_rmw(t, self.addr(), ord, self.seed(), |_| v as u64);
+                self.real.store(v, Ordering::Relaxed);
+                old != 0
+            }
+            None => self.real.swap(v, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match exec::current() {
+            Some((e, t)) => {
+                let r = e.atomic_cas(
+                    t,
+                    self.addr(),
+                    success,
+                    failure,
+                    current as u64,
+                    new as u64,
+                    self.seed(),
+                );
+                if r.is_ok() {
+                    self.real.store(new, Ordering::Relaxed);
+                }
+                r.map(|x| x != 0).map_err(|x| x != 0)
+            }
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.real.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.real.into_inner()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct AtomicPtr<T> {
+    real: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self { real: std::sync::atomic::AtomicPtr::new(p) }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    #[inline]
+    fn seed(&self) -> u64 {
+        self.real.load(Ordering::Relaxed) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match exec::current() {
+            Some((e, t)) => e.atomic_load(t, self.addr(), ord, self.seed()) as usize as *mut T,
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match exec::current() {
+            Some((e, t)) => {
+                e.atomic_store(t, self.addr(), ord, p as usize as u64, self.seed());
+                self.real.store(p, Ordering::Relaxed);
+            }
+            None => self.real.store(p, ord),
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match exec::current() {
+            Some((e, t)) => {
+                let (old, _) =
+                    e.atomic_rmw(t, self.addr(), ord, self.seed(), |_| p as usize as u64);
+                self.real.store(p, Ordering::Relaxed);
+                old as usize as *mut T
+            }
+            None => self.real.swap(p, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match exec::current() {
+            Some((e, t)) => {
+                let r = e.atomic_cas(
+                    t,
+                    self.addr(),
+                    success,
+                    failure,
+                    current as usize as u64,
+                    new as usize as u64,
+                    self.seed(),
+                );
+                if r.is_ok() {
+                    self.real.store(new, Ordering::Relaxed);
+                }
+                r.map(|x| x as usize as *mut T).map_err(|x| x as usize as *mut T)
+            }
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.real.get_mut()
+    }
+}
+
+/// Instrumented [`std::sync::atomic::fence`]. Inside a model it updates
+/// the thread's fence clocks; outside, it emits the real fence — except
+/// for `Relaxed`, which only a mutation-weakened site can produce and
+/// which must order nothing (the real `fence(Relaxed)` panics).
+pub fn fence(ord: Ordering) {
+    match exec::current() {
+        Some((e, t)) => e.fence(t, ord),
+        None => {
+            if ord != Ordering::Relaxed {
+                std::sync::atomic::fence(ord);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Instrumented [`std::cell::UnsafeCell`] with a `with`/`with_mut`
+//! access discipline (the loom API shape). Inside a model, every access
+//! runs the vector-clock race detector; two accesses (at least one a
+//! write) unordered by happens-before fail the execution. The
+//! zero-cost facade alias in [`crate::sync`] exposes the same API, so
+//! production code compiles identically either way.
+
+use crate::exec;
+
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T: ?Sized> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// Same unsafe contract as std's UnsafeCell-based types: the *user*
+// promises exclusion; the checker exists to verify that promise.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::cell::UnsafeCell::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Immutable (read) access. Races with unordered writes.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((e, t)) = exec::current() {
+            e.cell_access(t, self.addr(), false);
+        }
+        f(self.inner.get())
+    }
+
+    /// Mutable (write) access. Races with any unordered access.
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((e, t)) = exec::current() {
+            e.cell_access(t, self.addr(), true);
+        }
+        f(self.inner.get())
+    }
+
+    /// Exclusive access through `&mut self`: statically race-free, not
+    /// instrumented.
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `&mut self` guarantees exclusivity.
+        unsafe { &mut *self.inner.get() }
+    }
+}

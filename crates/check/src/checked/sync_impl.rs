@@ -1,0 +1,232 @@
+//! Instrumented `Mutex`/`Condvar`/`Arc`.
+//!
+//! * `Mutex`/`Condvar` wrap their `std` counterparts; inside a model,
+//!   lock acquisition and condvar wait/notify are scheduling points
+//!   with exact happens-before edges, and `wait` registration is atomic
+//!   with the mutex release — so lost-wakeup windows are explorable.
+//!   The real lock is only ever taken after the model has granted it,
+//!   hence never contended inside a model.
+//! * `Arc` keeps its own *instrumented* strong count beside the real
+//!   one. When the modeled count hits zero the allocation's address
+//!   range is retired: any later instrumented access to it fails the
+//!   execution as a use-after-free — the exact shape of the PR 3 latch
+//!   bug, where a waiter could free the job while the finisher was
+//!   mid-`set`. (The backing memory is kept alive until the execution
+//!   ends so retired-range checks can never misfire on reused
+//!   addresses.)
+
+use crate::checked::AtomicUsize;
+use crate::exec;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+pub struct Mutex<T: ?Sized> {
+    real: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self { real: std::sync::Mutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match exec::current() {
+            Some((e, t)) => {
+                e.mutex_lock(t, self.addr());
+                // The model granted us the lock, so the real mutex is
+                // free (and poisoning cannot happen inside a model:
+                // panicking threads abort the whole execution).
+                let real = self.real.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard { lock: self, real: Some(real) })
+            }
+            None => match self.real.lock() {
+                Ok(real) => Ok(MutexGuard { lock: self, real: Some(real) }),
+                Err(p) => {
+                    Err(PoisonError::new(MutexGuard { lock: self, real: Some(p.into_inner()) }))
+                }
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        match self.real.get_mut() {
+            Ok(v) => Ok(v),
+            Err(p) => Err(PoisonError::new(p.into_inner())),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T>
+    where
+        T: Sized,
+    {
+        match self.real.into_inner() {
+            Ok(v) => Ok(v),
+            Err(p) => Err(PoisonError::new(p.into_inner())),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    real: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().unwrap()
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model-unlock scheduling
+        // point: while we are parked there, no other model thread can
+        // be granted this mutex (the model still records it held).
+        drop(self.real.take());
+        if let Some((e, t)) = exec::current() {
+            e.mutex_unlock(t, self.lock.addr());
+        }
+    }
+}
+
+pub struct Condvar {
+    real: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self { real: std::sync::Condvar::new() }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match exec::current() {
+            Some((e, t)) => {
+                let lock = guard.lock;
+                // Drop the real lock without running the guard's model
+                // unlock: the wait op releases the model mutex
+                // *atomically* with waiter registration, which is what
+                // makes lost wakeups impossible to miss.
+                drop(guard.real.take());
+                std::mem::forget(guard);
+                e.cond_wait(t, self.addr(), lock.addr());
+                let real = lock.real.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard { lock, real: Some(real) })
+            }
+            None => {
+                let lock = guard.lock;
+                let real = guard.real.take().unwrap();
+                std::mem::forget(guard);
+                match self.real.wait(real) {
+                    Ok(real) => Ok(MutexGuard { lock, real: Some(real) }),
+                    Err(p) => {
+                        Err(PoisonError::new(MutexGuard { lock, real: Some(p.into_inner()) }))
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match exec::current() {
+            Some((e, t)) => e.cond_notify(t, self.addr(), false),
+            None => self.real.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match exec::current() {
+            Some((e, t)) => e.cond_notify(t, self.addr(), true),
+            None => self.real.notify_all(),
+        }
+    }
+}
+
+struct ArcBox<T> {
+    refs: AtomicUsize,
+    value: T,
+}
+
+pub struct Arc<T> {
+    inner: std::sync::Arc<ArcBox<T>>,
+}
+
+impl<T> Arc<T> {
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::Arc::new(ArcBox { refs: AtomicUsize::new(1), value }) }
+    }
+
+    pub fn ptr_eq(this: &Self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&this.inner, &other.inner)
+    }
+}
+
+impl<T> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner.value
+    }
+}
+
+impl<T> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        // Same contract as std: cloning an existing handle needs no
+        // ordering (the handle itself proves the count is nonzero).
+        self.inner.refs.fetch_add(1, Ordering::Relaxed);
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Arc<T> {
+    fn drop(&mut self) {
+        // std's protocol: Release decrement, Acquire fence before
+        // dropping the payload, so every handle's writes are visible to
+        // the destructor.
+        if self.inner.refs.fetch_sub(1, Ordering::Release) != 1 {
+            return;
+        }
+        crate::checked::fence(Ordering::Acquire);
+        if let Some((e, t)) = exec::current() {
+            // Retire the allocation in the model and keep the memory
+            // alive for the remainder of the execution: a forgotten
+            // extra handle pins the real refcount above zero, so the
+            // address range can never be recycled and confuse the
+            // freed-range check. (Bounded leak, test-process only.)
+            let lo = std::sync::Arc::as_ptr(&self.inner) as usize;
+            let hi = lo + std::mem::size_of::<ArcBox<T>>();
+            e.retire_range(t, lo, hi);
+            std::mem::forget(self.inner.clone());
+        }
+    }
+}

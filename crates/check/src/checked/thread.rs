@@ -1,0 +1,111 @@
+//! Instrumented thread spawn/join/yield.
+//!
+//! Inside a model, `spawn` registers a *model thread* hosted on a real
+//! OS thread under the cooperative scheduler: the spawn is a scheduling
+//! point carrying the parent→child happens-before edge, and `join`
+//! blocks the joiner (in the model sense — it stays schedulable only
+//! once the target finished) and joins the child's clock. Outside a
+//! model these are the plain `std::thread` calls.
+
+use crate::exec::{self, Exec};
+use std::sync::{Arc, Mutex};
+
+pub fn yield_now() {
+    match exec::current() {
+        Some((e, t)) => e.yield_op(t, false),
+        None => std::thread::yield_now(),
+    }
+}
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Exec>,
+        target: usize,
+        os: std::thread::JoinHandle<()>,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Real(h) => h.join(),
+            Inner::Model { exec, target, os, slot } => {
+                let (_, tid) = exec::current()
+                    .expect("joining a model thread from outside its model execution");
+                // Parks until `target` finished; if the child panicked
+                // the execution is already failing and this unwinds.
+                exec.join_op(tid, target);
+                let _ = os.join();
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+pub struct Builder {
+    real: std::thread::Builder,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { real: std::thread::Builder::new() }
+    }
+
+    /// Only visible on the fallback path: model threads are named by
+    /// the checker for panic-hook routing.
+    pub fn name(mut self, name: String) -> Self {
+        self.real = self.real.name(name);
+        self
+    }
+
+    pub fn stack_size(mut self, size: usize) -> Self {
+        self.real = self.real.stack_size(size);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match exec::current() {
+            Some((e, t)) => {
+                let child = e.spawn_child(t);
+                let slot = Arc::new(Mutex::new(None));
+                let out = slot.clone();
+                let os = crate::explore::spawn_model_thread(e.clone(), child, move || {
+                    let v = f();
+                    *out.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                });
+                e.wait_thread_settled(child);
+                Ok(JoinHandle { inner: Inner::Model { exec: e, target: child, os, slot } })
+            }
+            None => self.real.spawn(f).map(|h| JoinHandle { inner: Inner::Real(h) }),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}

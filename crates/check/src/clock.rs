@@ -1,0 +1,54 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! One entry per model thread, grown on demand. An *epoch* `(tid, n)`
+//! names the `n`-th operation of thread `tid`; epoch `e` happens-before
+//! a thread whose clock `c` satisfies `e.count <= c[e.tid]`.
+
+/// A vector clock, indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for `tid` (0 when never observed).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    /// Pointwise maximum: afterwards everything visible to `other` is
+    /// visible to `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (slot, &v) in self.0.iter_mut().zip(other.0.iter()) {
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// Whether the epoch `(tid, count)` happens-before this clock.
+    pub fn covers(&self, tid: usize, count: u64) -> bool {
+        count <= self.get(tid)
+    }
+}
+
+/// An operation's identity: the `count`-th op of thread `tid`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    pub tid: usize,
+    pub count: u64,
+}
+
+impl Epoch {
+    pub const ZERO: Epoch = Epoch { tid: 0, count: 0 };
+}

@@ -1,0 +1,1048 @@
+//! One controlled execution of a model: cooperative scheduling, vector
+//! clocks, per-location metadata, and failure detection.
+//!
+//! Model threads are real OS threads, but at most one runs at a time:
+//! every instrumented operation parks the thread at a *yield point*
+//! (declaring the operation it is about to perform) and waits for the
+//! scheduler to grant it. The scheduler — driven by
+//! [`crate::explore::Checker`] — picks which parked thread proceeds,
+//! consuming one *choice* per decision; the recorded choice string is
+//! the replayable schedule printed on failure.
+//!
+//! Memory model (C11 approximation):
+//! * Atomics keep a bounded history of stores, each carrying the value,
+//!   the release clock it publishes, and the writer's epoch. A load may
+//!   read any store not excluded by coherence (nothing older than a
+//!   store already read by this thread, or than the newest store that
+//!   happens-before the load). Multiple eligible stores become a choice
+//!   point, so weakly-ordered code *observes* stale values and
+//!   assertions catch the consequences. RMWs always read the newest
+//!   store (C11 atomicity) and continue its release sequence.
+//! * `SeqCst` is approximated by a global SC clock joined both ways at
+//!   every `SeqCst` operation and fence — slightly stronger than C11,
+//!   never weaker than acquire/release, so it cannot produce false
+//!   alarms on correctly-`SeqCst` code.
+//! * Non-atomic [`crate::checked::UnsafeCell`] accesses run a vector-
+//!   clock race detector (FastTrack-style epochs); unsynchronized
+//!   read/write pairs fail the execution unless inside an explicit
+//!   [`crate::annotate::speculative`] scope whose value is discarded.
+//! * [`crate::checked::Arc`] retirement marks the allocation's address
+//!   range freed; any later instrumented access in the range is a
+//!   use-after-free failure (the PR 3 latch bug shape).
+
+use crate::clock::{Epoch, VClock};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Stale-store window: loads choose among at most this many trailing
+/// stores of a location's history (newest always eligible).
+pub(crate) const HISTORY: usize = 3;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found or exploration pruned). Never escapes the checker.
+pub(crate) struct AbortExecution;
+
+/// What a parked thread wants to do next. The scheduler interprets this
+/// for enabled-ness (blocking) and conflict-based preemption pruning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    AtomicLoad { addr: usize },
+    AtomicStore { addr: usize },
+    AtomicRmw { addr: usize },
+    Fence,
+    CellRead { addr: usize },
+    CellWrite { addr: usize },
+    MutexLock { addr: usize },
+    MutexUnlock { addr: usize },
+    CondWait { addr: usize },
+    CondNotify { addr: usize },
+    Yield { spin: bool },
+    Spawn,
+    Join { target: usize },
+}
+
+impl Op {
+    fn addr(&self) -> Option<usize> {
+        match *self {
+            Op::AtomicLoad { addr }
+            | Op::AtomicStore { addr }
+            | Op::AtomicRmw { addr }
+            | Op::CellRead { addr }
+            | Op::CellWrite { addr }
+            | Op::MutexLock { addr }
+            | Op::MutexUnlock { addr }
+            | Op::CondWait { addr }
+            | Op::CondNotify { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    fn is_write_like(&self) -> bool {
+        matches!(
+            self,
+            Op::AtomicStore { .. }
+                | Op::AtomicRmw { .. }
+                | Op::CellWrite { .. }
+                | Op::MutexLock { .. }
+                | Op::MutexUnlock { .. }
+                | Op::CondWait { .. }
+                | Op::CondNotify { .. }
+        )
+    }
+
+    /// Would running `other` before/after `self` change anything?
+    /// Used to prune preemption points (DPOR-lite persistent sets).
+    fn conflicts(&self, other: &Op) -> bool {
+        if matches!(self, Op::Fence) || matches!(other, Op::Fence) {
+            return true;
+        }
+        match (self.addr(), other.addr()) {
+            (Some(a), Some(b)) => a == b && (self.is_write_like() || other.is_write_like()),
+            _ => false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Between grant and next yield point (or still in its spawn
+    /// prefix); exactly one thread at a time outside of spawn windows.
+    Running,
+    /// At a yield point with `pending` declared, awaiting grant.
+    Parked,
+    /// In a condvar wait, not schedulable until notified.
+    Sleeping,
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub(crate) status: Status,
+    pub(crate) pending: Option<Op>,
+    /// Ops performed; `clock[self] == count`.
+    count: u64,
+    pub(crate) clock: VClock,
+    /// Release clocks of stores read by relaxed loads since the last
+    /// acquire fence.
+    pending_acquire: VClock,
+    /// Clock snapshot at the last release fence.
+    fence_release: Option<VClock>,
+    /// Active speculative scope: `Some(racy_so_far)`.
+    spec: Option<bool>,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            status: Status::Running,
+            pending: None,
+            count: 0,
+            clock,
+            pending_acquire: VClock::new(),
+            fence_release: None,
+            spec: None,
+        }
+    }
+
+    fn epoch(&self) -> Epoch {
+        Epoch { tid: usize::MAX, count: self.count } // tid patched by caller
+    }
+}
+
+#[derive(Clone)]
+struct Store {
+    value: u64,
+    /// Clock an acquire-load of this store synchronizes with.
+    release: VClock,
+    epoch: Epoch,
+}
+
+struct AtomicLoc {
+    stores: Vec<Store>,
+    /// Newest store index each thread has read or written (coherence).
+    last_read: HashMap<usize, usize>,
+    /// Per-thread `(last store read, consecutive repeats)`: after a
+    /// thread re-reads the same store twice, later loads must observe
+    /// something newer — C11's eventual-visibility expectation, and
+    /// what keeps spin-wait loops from looping (and the DFS tree from
+    /// growing) forever on one stale value.
+    streaks: HashMap<usize, (usize, u32)>,
+}
+
+#[derive(Default)]
+struct CellLoc {
+    last_write: Option<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+#[derive(Default)]
+struct MutexLoc {
+    held_by: Option<usize>,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CondvarLoc {
+    /// `(tid, mutex address to re-acquire)`.
+    waiters: Vec<(usize, usize)>,
+}
+
+enum LocKind {
+    Atomic(AtomicLoc),
+    Cell(CellLoc),
+    Mutex(MutexLoc),
+    Condvar(CondvarLoc),
+}
+
+struct Location {
+    kind: LocKind,
+    freed: bool,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadState>,
+    locations: HashMap<usize, Location>,
+    freed_ranges: Vec<(usize, usize)>,
+    /// Global SC-order clock (SeqCst approximation).
+    sc: VClock,
+    /// Choice stream: replay prefix, then defaults; every multi-way
+    /// decision appends `(chosen, alternatives)`.
+    prefix: Vec<usize>,
+    cursor: usize,
+    pub(crate) log: Vec<(usize, usize)>,
+    pub(crate) failure: Option<String>,
+    pub(crate) aborting: bool,
+    preemptions_left: usize,
+    last_running: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    tracing: bool,
+    pub(crate) trace: Vec<String>,
+}
+
+impl ExecState {
+    fn choose(&mut self, alternatives: usize) -> usize {
+        if alternatives <= 1 {
+            return 0;
+        }
+        let c = if self.cursor < self.prefix.len() { self.prefix[self.cursor] } else { 0 };
+        debug_assert!(c < alternatives, "replay prefix diverged");
+        self.cursor += 1;
+        self.log.push((c, alternatives));
+        c
+    }
+
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.aborting = true;
+    }
+
+    fn trace_op(&mut self, tid: usize, text: impl FnOnce() -> String) {
+        if self.tracing {
+            self.trace.push(format!("T{tid}: {}", text()));
+        }
+    }
+
+    fn check_freed(&mut self, tid: usize, addr: usize) -> bool {
+        let freed = self.locations.get(&addr).map(|l| l.freed).unwrap_or(false)
+            || self.freed_ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi);
+        if freed {
+            self.fail(format!(
+                "use-after-free: T{tid} touched freed location {addr:#x} \
+                 (retired allocation still referenced)"
+            ));
+        }
+        freed
+    }
+
+    fn atomic_loc(&mut self, addr: usize, seed: u64) -> &mut AtomicLoc {
+        let loc = self.locations.entry(addr).or_insert_with(|| Location {
+            kind: LocKind::Atomic(AtomicLoc {
+                stores: vec![Store { value: seed, release: VClock::new(), epoch: Epoch::ZERO }],
+                last_read: HashMap::new(),
+                streaks: HashMap::new(),
+            }),
+            freed: false,
+        });
+        match &mut loc.kind {
+            LocKind::Atomic(a) => a,
+            _ => panic!("kcore-check: location {addr:#x} used as two different kinds"),
+        }
+    }
+
+    fn epoch_of(&self, tid: usize) -> Epoch {
+        let mut e = self.threads[tid].epoch();
+        e.tid = tid;
+        e
+    }
+}
+
+/// Shared state of one execution. Model threads and the scheduler
+/// rendezvous through `state` + `cv`.
+pub(crate) struct Exec {
+    pub(crate) state: Mutex<ExecState>,
+    pub(crate) cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's context, if any. Instrumented types
+/// fall back to their real `std` behavior when this is `None`, so code
+/// compiled against the checked facade still works outside a model.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Exec>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Exec {
+    pub(crate) fn new(
+        prefix: Vec<usize>,
+        preemptions: usize,
+        max_steps: usize,
+        tracing: bool,
+    ) -> Self {
+        Exec {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                locations: HashMap::new(),
+                freed_ranges: Vec::new(),
+                sc: VClock::new(),
+                prefix,
+                cursor: 0,
+                log: Vec::new(),
+                failure: None,
+                aborting: false,
+                preemptions_left: preemptions,
+                last_running: None,
+                steps: 0,
+                max_steps,
+                tracing,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread (status `Running`) and returns its
+    /// tid. `parent` — if any — donates its clock (spawn edge).
+    pub(crate) fn add_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = self.lock();
+        let clock = match parent {
+            Some(p) => st.threads[p].clock.clone(),
+            None => VClock::new(),
+        };
+        let tid = st.threads.len();
+        st.threads.push(ThreadState::new(clock));
+        tid
+    }
+
+    /// Blocks until `tid` has parked, slept, or finished — used by the
+    /// spawn op so the scheduler never races a starting thread.
+    pub(crate) fn wait_thread_settled(&self, tid: usize) {
+        let mut st = self.lock();
+        while st.threads[tid].status == Status::Running {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid].status = Status::Finished;
+        if let Some(msg) = panic_msg {
+            let sched = st.log.iter().map(|&(c, _)| c).collect::<Vec<_>>();
+            st.fail(format!("model thread T{tid} panicked: {msg} (schedule {sched:?})"));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks at a yield point declaring `op`, waits for the grant, then
+    /// applies `effect` under the state lock. This is the only path by
+    /// which instrumented operations execute inside a model.
+    pub(crate) fn run_op<R>(
+        &self,
+        tid: usize,
+        op: Op,
+        effect: impl FnOnce(&mut ExecState, usize) -> R,
+    ) -> R {
+        let mut st = self.lock();
+        if st.aborting {
+            // Unwinding threads still run instrumented ops from Drop
+            // impls (guards, Arcs). Panicking again here would be a
+            // double panic; apply the effect unscheduled instead — the
+            // execution's verdict is already decided.
+            if std::thread::panicking() {
+                st.threads[tid].count += 1;
+                let c = st.threads[tid].count;
+                st.threads[tid].clock.set(tid, c);
+                return effect(&mut st, tid);
+            }
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.threads[tid].pending = Some(op);
+        st.threads[tid].status = Status::Parked;
+        self.cv.notify_all();
+        while st.threads[tid].status == Status::Parked {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting && !std::thread::panicking() {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.threads[tid].pending = None;
+        st.threads[tid].count += 1;
+        let c = st.threads[tid].count;
+        st.threads[tid].clock.set(tid, c);
+        let r = effect(&mut st, tid);
+        if st.failure.is_some() && !std::thread::panicking() {
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        r
+    }
+
+    // ---- scheduler -----------------------------------------------------
+
+    /// Drives the execution to completion: grants one parked thread at a
+    /// time until every thread finished, a failure was recorded, or a
+    /// bound tripped. Must be called off-model (the controlling thread).
+    pub(crate) fn schedule(&self) {
+        loop {
+            let mut st = self.lock();
+            while st.threads.iter().any(|t| t.status == Status::Running) {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.aborting {
+                drop(st);
+                self.drain();
+                return;
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return;
+            }
+            let enabled: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].status == Status::Parked && self.is_enabled(&st, t))
+                .collect();
+            if enabled.is_empty() {
+                let blocked: Vec<String> = (0..st.threads.len())
+                    .filter(|&t| st.threads[t].status != Status::Finished)
+                    .map(|t| format!("T{t}:{:?}", st.threads[t].pending))
+                    .collect();
+                st.fail(format!("deadlock: no runnable thread ({})", blocked.join(", ")));
+                drop(st);
+                self.drain();
+                return;
+            }
+            st.steps += 1;
+            if st.steps > st.max_steps {
+                let bound = st.max_steps;
+                st.fail(format!(
+                    "step bound {bound} exceeded: livelock, or raise KCORE_CHECK_MAX_STEPS"
+                ));
+                drop(st);
+                self.drain();
+                return;
+            }
+            let (candidates, preemptive) = self.candidates(&st, &enabled);
+            let idx = st.choose(candidates.len());
+            let chosen = candidates[idx];
+            if preemptive && Some(chosen) != st.last_running && idx > 0 {
+                st.preemptions_left = st.preemptions_left.saturating_sub(1);
+            }
+            st.last_running = Some(chosen);
+            st.threads[chosen].status = Status::Running;
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_enabled(&self, st: &ExecState, tid: usize) -> bool {
+        match st.threads[tid].pending {
+            Some(Op::MutexLock { addr }) => match st.locations.get(&addr).map(|l| &l.kind) {
+                Some(LocKind::Mutex(m)) => m.held_by.is_none(),
+                _ => true,
+            },
+            Some(Op::Join { target }) => st.threads[target].status == Status::Finished,
+            _ => true,
+        }
+    }
+
+    /// Ordered candidate list for the next grant, plus whether picking
+    /// a non-first entry costs a preemption (CHESS-style preemption
+    /// bounding). The last-running thread continues by default (choice
+    /// 0); other enabled threads are alternatives, ordered so that
+    /// threads whose pending operation *conflicts* with the current
+    /// one come first — the DPOR-lite heuristic that surfaces racy
+    /// interleavings early within the schedule budget. Switching away
+    /// from a thread parked on `yield`/`spin_loop` is voluntary (free):
+    /// those are exactly the points where spin-wait loops invite the
+    /// scheduler in, so they never burn the preemption budget.
+    fn candidates(&self, st: &ExecState, enabled: &[usize]) -> (Vec<usize>, bool) {
+        let cur = st.last_running.filter(|&c| enabled.contains(&c));
+        let Some(cur) = cur else {
+            return (enabled.to_vec(), false);
+        };
+        let others = |first_conflicting: bool| -> Vec<usize> {
+            let cur_op = st.threads[cur].pending.clone();
+            let mut conflicting = Vec::new();
+            let mut rest = Vec::new();
+            for &t in enabled {
+                if t == cur {
+                    continue;
+                }
+                let conflict = match (&cur_op, &st.threads[t].pending) {
+                    (Some(a), Some(b)) => a.conflicts(b),
+                    _ => true,
+                };
+                if conflict && first_conflicting {
+                    conflicting.push(t);
+                } else {
+                    rest.push(t);
+                }
+            }
+            conflicting.extend(rest);
+            conflicting
+        };
+        if matches!(st.threads[cur].pending, Some(Op::Yield { .. })) {
+            // Voluntary switch point: hand the schedule to someone
+            // else. Immediately continuing the yielding thread is never
+            // a candidate here — re-running a spinner with unchanged
+            // state only deepens the tree — but it stays reachable as a
+            // (budgeted) preemption alternative at later decisions, so
+            // spin iterations interleaved with the other threads' ops
+            // are still explored, just boundedly.
+            let cands = others(true);
+            if cands.is_empty() {
+                return (vec![cur], false);
+            }
+            return (cands, false);
+        }
+        let mut cands = vec![cur];
+        if st.preemptions_left > 0 {
+            cands.extend(others(true));
+        }
+        (cands, true)
+    }
+
+    /// Aborts every live thread so their stacks unwind, then waits for
+    /// them to finish.
+    fn drain(&self) {
+        let mut st = self.lock();
+        st.aborting = true;
+        loop {
+            for t in 0..st.threads.len() {
+                if matches!(st.threads[t].status, Status::Parked | Status::Sleeping) {
+                    st.threads[t].status = Status::Running;
+                }
+            }
+            self.cv.notify_all();
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- atomic operations ---------------------------------------------
+
+    pub(crate) fn atomic_load(&self, tid: usize, addr: usize, ord: Ordering, seed: u64) -> u64 {
+        self.run_op(tid, Op::AtomicLoad { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return 0;
+            }
+            if ord == Ordering::SeqCst {
+                let sc = st.sc.clone();
+                st.threads[tid].clock.join(&sc);
+            }
+            st.atomic_loc(addr, seed);
+            let clock = st.threads[tid].clock.clone();
+            let LocKind::Atomic(loc) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            let n = loc.stores.len();
+            let mut min_mo = loc.last_read.get(&tid).copied().unwrap_or(0);
+            for (i, s) in loc.stores.iter().enumerate() {
+                if clock.covers(s.epoch.tid, s.epoch.count) {
+                    min_mo = min_mo.max(i);
+                }
+            }
+            if let Some(&(last_pick, streak)) = loc.streaks.get(&tid) {
+                if streak >= 2 && last_pick + 1 < n {
+                    min_mo = min_mo.max(last_pick + 1);
+                }
+            }
+            let lo = min_mo.max(n.saturating_sub(HISTORY));
+            let alternatives = n - lo;
+            // Default choice 0 = the newest store (SC-like baseline);
+            // choice k reads the k-th-newest eligible store.
+            let pick_offset = st.choose(alternatives);
+            let pick = n - 1 - pick_offset;
+            let LocKind::Atomic(loc) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            let store = loc.stores[pick].clone();
+            loc.last_read.insert(tid, pick);
+            let streak = match loc.streaks.get(&tid) {
+                Some(&(p, s)) if p == pick => s + 1,
+                _ => 1,
+            };
+            loc.streaks.insert(tid, (pick, streak));
+            if ord == Ordering::Acquire || ord == Ordering::AcqRel || ord == Ordering::SeqCst {
+                st.threads[tid].clock.join(&store.release);
+            } else {
+                st.threads[tid].pending_acquire.join(&store.release);
+            }
+            if ord == Ordering::SeqCst {
+                let clock = st.threads[tid].clock.clone();
+                st.sc.join(&clock);
+            }
+            st.trace_op(tid, || {
+                format!("atomic load {addr:#x} ({ord:?}) = {} [store {pick}/{n}]", store.value)
+            });
+            store.value
+        })
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        addr: usize,
+        ord: Ordering,
+        value: u64,
+        seed: u64,
+    ) {
+        self.run_op(tid, Op::AtomicStore { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return;
+            }
+            if ord == Ordering::SeqCst {
+                let sc = st.sc.clone();
+                st.threads[tid].clock.join(&sc);
+            }
+            let epoch = st.epoch_of(tid);
+            let release = release_clock(st, tid, ord);
+            st.atomic_loc(addr, seed);
+            let LocKind::Atomic(loc) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            loc.stores.push(Store { value, release, epoch });
+            let newest = loc.stores.len() - 1;
+            loc.last_read.insert(tid, newest);
+            if ord == Ordering::SeqCst {
+                let clock = st.threads[tid].clock.clone();
+                st.sc.join(&clock);
+            }
+            st.trace_op(tid, || format!("atomic store {addr:#x} ({ord:?}) = {value}"));
+        })
+    }
+
+    /// Read-modify-write: applies `f` to the newest store's value.
+    /// Returns `(old, new)`.
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        addr: usize,
+        ord: Ordering,
+        seed: u64,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, u64) {
+        self.run_op(tid, Op::AtomicRmw { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return (0, 0);
+            }
+            rmw_effect(st, tid, addr, ord, ord, seed, |old| Some(f(old))).unwrap_or((0, 0))
+        })
+    }
+
+    /// Compare-and-swap against the newest store. `Ok(old)` on success,
+    /// `Err(actual)` on failure.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        addr: usize,
+        success: Ordering,
+        failure: Ordering,
+        expect: u64,
+        new: u64,
+        seed: u64,
+    ) -> Result<u64, u64> {
+        self.run_op(tid, Op::AtomicRmw { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return Err(0);
+            }
+            match rmw_effect(st, tid, addr, success, failure, seed, |old| {
+                (old == expect).then_some(new)
+            }) {
+                Some((old, _)) => Ok(old),
+                None => {
+                    let LocKind::Atomic(loc) = &st.locations.get(&addr).unwrap().kind else {
+                        unreachable!()
+                    };
+                    Err(loc.stores.last().unwrap().value)
+                }
+            }
+        })
+    }
+
+    pub(crate) fn fence(&self, tid: usize, ord: Ordering) {
+        self.run_op(tid, Op::Fence, |st, tid| {
+            match ord {
+                Ordering::Acquire => {
+                    let pa = std::mem::take(&mut st.threads[tid].pending_acquire);
+                    st.threads[tid].clock.join(&pa);
+                }
+                Ordering::Release => {
+                    st.threads[tid].fence_release = Some(st.threads[tid].clock.clone());
+                }
+                Ordering::AcqRel => {
+                    let pa = std::mem::take(&mut st.threads[tid].pending_acquire);
+                    st.threads[tid].clock.join(&pa);
+                    st.threads[tid].fence_release = Some(st.threads[tid].clock.clone());
+                }
+                Ordering::SeqCst => {
+                    let pa = std::mem::take(&mut st.threads[tid].pending_acquire);
+                    st.threads[tid].clock.join(&pa);
+                    let sc = st.sc.clone();
+                    st.threads[tid].clock.join(&sc);
+                    let clock = st.threads[tid].clock.clone();
+                    st.sc.join(&clock);
+                    st.threads[tid].fence_release = Some(st.threads[tid].clock.clone());
+                }
+                // A mutation-weakened fence: orders nothing.
+                _ => {}
+            }
+            st.trace_op(tid, || format!("fence ({ord:?})"));
+        })
+    }
+
+    // ---- non-atomic cells ----------------------------------------------
+
+    pub(crate) fn cell_access(&self, tid: usize, addr: usize, write: bool) {
+        let op = if write { Op::CellWrite { addr } } else { Op::CellRead { addr } };
+        self.run_op(tid, op, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return;
+            }
+            let epoch = st.epoch_of(tid);
+            let loc = st.locations.entry(addr).or_insert_with(|| Location {
+                kind: LocKind::Cell(CellLoc::default()),
+                freed: false,
+            });
+            let LocKind::Cell(cell) = &mut loc.kind else {
+                panic!("kcore-check: location {addr:#x} used as two different kinds")
+            };
+            let mut race_with: Option<Epoch> = None;
+            if let Some(w) = cell.last_write {
+                if w.tid != tid && !st.threads[tid].clock.covers(w.tid, w.count) {
+                    race_with = Some(w);
+                }
+            }
+            if write {
+                for &r in &cell.reads {
+                    if r.tid != tid && !st.threads[tid].clock.covers(r.tid, r.count) {
+                        race_with = Some(r);
+                    }
+                }
+            }
+            let LocKind::Cell(cell) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            if write {
+                cell.last_write = Some(epoch);
+                cell.reads.clear();
+            } else {
+                cell.reads.push(epoch);
+            }
+            if let Some(other) = race_with {
+                if let Some(spec) = st.threads[tid].spec.as_mut() {
+                    *spec = true;
+                    st.trace_op(tid, || {
+                        format!(
+                            "cell {} {addr:#x} races T{} (speculative, pending validation)",
+                            if write { "write" } else { "read" },
+                            other.tid
+                        )
+                    });
+                } else {
+                    st.fail(format!(
+                        "data race: T{tid} {} of {addr:#x} is unordered with T{}'s access \
+                         (missing release/acquire edge)",
+                        if write { "non-atomic write" } else { "non-atomic read" },
+                        other.tid
+                    ));
+                }
+            } else {
+                st.trace_op(tid, || {
+                    format!("cell {} {addr:#x}", if write { "write" } else { "read" })
+                });
+            }
+        })
+    }
+
+    /// Opens a speculative scope: races on cell accesses inside it are
+    /// deferred until [`Exec::commit_speculation`].
+    #[cfg_attr(not(kcore_check), allow(dead_code))]
+    pub(crate) fn begin_speculation(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].spec = Some(false);
+    }
+
+    /// Closes the scope. `used == true` means the speculatively read
+    /// value was acted upon, so a deferred race becomes a failure;
+    /// `used == false` discards it (the crossbeam benign-race argument:
+    /// a value whose CAS lost is never used).
+    #[cfg_attr(not(kcore_check), allow(dead_code))]
+    pub(crate) fn commit_speculation(&self, tid: usize, used: bool) {
+        let mut st = self.lock();
+        let racy = st.threads[tid].spec.take().unwrap_or(false);
+        if racy && used {
+            st.fail(format!(
+                "speculative racy read on T{tid} was committed: the validating CAS \
+                 succeeded even though the read was unordered with a writer"
+            ));
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+    }
+
+    // ---- blocking primitives -------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, tid: usize, addr: usize) {
+        self.run_op(tid, Op::MutexLock { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return;
+            }
+            let loc = st.locations.entry(addr).or_insert_with(|| Location {
+                kind: LocKind::Mutex(MutexLoc::default()),
+                freed: false,
+            });
+            let LocKind::Mutex(m) = &mut loc.kind else {
+                panic!("kcore-check: location {addr:#x} used as two different kinds")
+            };
+            assert!(m.held_by.is_none(), "scheduler granted lock of a held mutex");
+            m.held_by = Some(tid);
+            let mclock = m.clock.clone();
+            st.threads[tid].clock.join(&mclock);
+            st.trace_op(tid, || format!("mutex lock {addr:#x}"));
+        })
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, addr: usize) {
+        self.run_op(tid, Op::MutexUnlock { addr }, |st, tid| {
+            if st.check_freed(tid, addr) {
+                return;
+            }
+            let clock = st.threads[tid].clock.clone();
+            if let Some(Location { kind: LocKind::Mutex(m), .. }) = st.locations.get_mut(&addr) {
+                m.held_by = None;
+                m.clock.join(&clock);
+            }
+            st.trace_op(tid, || format!("mutex unlock {addr:#x}"));
+        })
+    }
+
+    /// Condvar wait: atomically releases `mutex_addr` and sleeps; on
+    /// notify, re-acquires before returning (the grant for the
+    /// re-acquisition is a normal scheduling decision).
+    pub(crate) fn cond_wait(&self, tid: usize, cv_addr: usize, mutex_addr: usize) {
+        self.run_op(tid, Op::CondWait { addr: cv_addr }, |st, tid| {
+            st.check_freed(tid, cv_addr);
+            let clock = st.threads[tid].clock.clone();
+            if let Some(Location { kind: LocKind::Mutex(m), .. }) =
+                st.locations.get_mut(&mutex_addr)
+            {
+                m.held_by = None;
+                m.clock.join(&clock);
+            }
+            let loc = st.locations.entry(cv_addr).or_insert_with(|| Location {
+                kind: LocKind::Condvar(CondvarLoc::default()),
+                freed: false,
+            });
+            let LocKind::Condvar(cv) = &mut loc.kind else {
+                panic!("kcore-check: location {cv_addr:#x} used as two different kinds")
+            };
+            cv.waiters.push((tid, mutex_addr));
+            st.trace_op(tid, || format!("cond wait {cv_addr:#x} (released {mutex_addr:#x})"));
+        });
+        // Sleep until a notify converts us back to Parked(MutexLock) and
+        // the scheduler grants the re-acquisition.
+        let mut st = self.lock();
+        st.threads[tid].status = Status::Sleeping;
+        self.cv.notify_all();
+        while st.threads[tid].status != Status::Running {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting && !std::thread::panicking() {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        // Granted the re-acquire: apply MutexLock effects inline.
+        st.threads[tid].pending = None;
+        st.threads[tid].count += 1;
+        let c = st.threads[tid].count;
+        st.threads[tid].clock.set(tid, c);
+        if let Some(Location { kind: LocKind::Mutex(m), .. }) = st.locations.get_mut(&mutex_addr) {
+            assert!(m.held_by.is_none(), "scheduler granted re-lock of a held mutex");
+            m.held_by = Some(tid);
+            let mclock = m.clock.clone();
+            st.threads[tid].clock.join(&mclock);
+        }
+        st.trace_op(tid, || format!("cond woke, re-locked {mutex_addr:#x}"));
+    }
+
+    pub(crate) fn cond_notify(&self, tid: usize, cv_addr: usize, all: bool) {
+        self.run_op(tid, Op::CondNotify { addr: cv_addr }, |st, tid| {
+            if st.check_freed(tid, cv_addr) {
+                return;
+            }
+            let woken: Vec<(usize, usize)> =
+                match st.locations.get_mut(&cv_addr).map(|l| &mut l.kind) {
+                    Some(LocKind::Condvar(cv)) => {
+                        if all {
+                            cv.waiters.drain(..).collect()
+                        } else if cv.waiters.is_empty() {
+                            Vec::new()
+                        } else {
+                            vec![cv.waiters.remove(0)]
+                        }
+                    }
+                    _ => Vec::new(),
+                };
+            for (w, mx) in &woken {
+                st.threads[*w].status = Status::Parked;
+                st.threads[*w].pending = Some(Op::MutexLock { addr: *mx });
+            }
+            st.trace_op(tid, || format!("cond notify {cv_addr:#x} (woke {})", woken.len()));
+        })
+    }
+
+    /// Registers a child model thread as a scheduling point of the
+    /// spawner. The child starts `Running` (its uninstrumented prologue
+    /// races nothing: it has no shared handles until its first
+    /// instrumented op, where it parks); the spawner must
+    /// [`Exec::wait_thread_settled`] before resuming so the scheduler
+    /// always sees a settled thread set.
+    pub(crate) fn spawn_child(&self, tid: usize) -> usize {
+        self.run_op(tid, Op::Spawn, |st, tid| {
+            let clock = st.threads[tid].clock.clone();
+            let child = st.threads.len();
+            st.threads.push(ThreadState::new(clock));
+            st.trace_op(tid, || format!("spawned T{child}"));
+            child
+        })
+    }
+
+    pub(crate) fn yield_op(&self, tid: usize, spin: bool) {
+        self.run_op(tid, Op::Yield { spin }, |st, tid| {
+            st.trace_op(tid, || if spin { "spin".into() } else { "yield".into() });
+        })
+    }
+
+    pub(crate) fn join_op(&self, tid: usize, target: usize) {
+        self.run_op(tid, Op::Join { target }, |st, tid| {
+            let tclock = st.threads[target].clock.clone();
+            st.threads[tid].clock.join(&tclock);
+            st.trace_op(tid, || format!("joined T{target}"));
+        })
+    }
+
+    /// Marks `[lo, hi)` as freed: any later instrumented access inside
+    /// the range fails the execution as a use-after-free.
+    pub(crate) fn retire_range(&self, tid: usize, lo: usize, hi: usize) {
+        let mut st = self.lock();
+        for (addr, loc) in st.locations.iter_mut() {
+            if *addr >= lo && *addr < hi {
+                loc.freed = true;
+            }
+        }
+        st.freed_ranges.push((lo, hi));
+        st.trace_op(tid, || format!("freed range {lo:#x}..{hi:#x}"));
+    }
+}
+
+fn release_clock(st: &ExecState, tid: usize, ord: Ordering) -> VClock {
+    if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+        st.threads[tid].clock.clone()
+    } else {
+        st.threads[tid].fence_release.clone().unwrap_or_default()
+    }
+}
+
+/// Shared RMW/CAS effect: reads the newest store, maybe writes a new
+/// one. Returns `Some((old, new))` when the write happened, `None` when
+/// `f` declined (CAS mismatch).
+fn rmw_effect(
+    st: &mut ExecState,
+    tid: usize,
+    addr: usize,
+    success: Ordering,
+    failure: Ordering,
+    seed: u64,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> Option<(u64, u64)> {
+    if matches!(success, Ordering::SeqCst) {
+        let sc = st.sc.clone();
+        st.threads[tid].clock.join(&sc);
+    }
+    st.atomic_loc(addr, seed);
+    let LocKind::Atomic(loc) = &st.locations.get(&addr).unwrap().kind else { unreachable!() };
+    let newest = loc.stores.len() - 1;
+    let read = loc.stores[newest].clone();
+    match f(read.value) {
+        Some(new) => {
+            let acq = matches!(success, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+            if acq {
+                st.threads[tid].clock.join(&read.release);
+            } else {
+                st.threads[tid].pending_acquire.join(&read.release);
+            }
+            let epoch = st.epoch_of(tid);
+            let mut release = release_clock(st, tid, success);
+            // Release-sequence continuation: an RMW extends the chain of
+            // the store it read, whatever its own ordering.
+            release.join(&read.release);
+            let LocKind::Atomic(loc) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            loc.stores.push(Store { value: new, release, epoch });
+            let idx = loc.stores.len() - 1;
+            loc.last_read.insert(tid, idx);
+            if matches!(success, Ordering::SeqCst) {
+                let clock = st.threads[tid].clock.clone();
+                st.sc.join(&clock);
+            }
+            st.trace_op(tid, || {
+                format!("atomic rmw {addr:#x} ({success:?}) {} -> {new}", read.value)
+            });
+            Some((read.value, new))
+        }
+        None => {
+            let acq = matches!(failure, Ordering::Acquire | Ordering::SeqCst);
+            if acq {
+                st.threads[tid].clock.join(&read.release);
+            } else {
+                st.threads[tid].pending_acquire.join(&read.release);
+            }
+            let LocKind::Atomic(loc) = &mut st.locations.get_mut(&addr).unwrap().kind else {
+                unreachable!()
+            };
+            loc.last_read.insert(tid, newest);
+            st.trace_op(tid, || format!("atomic cas-fail {addr:#x} (saw {})", read.value));
+            None
+        }
+    }
+}

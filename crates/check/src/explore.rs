@@ -1,0 +1,239 @@
+//! Bounded-exhaustive schedule exploration.
+//!
+//! [`Checker::check`] runs the model closure once per schedule. Every
+//! multi-way decision an execution makes (which thread to grant next,
+//! which eligible store a load reads) is logged as `(chosen,
+//! alternatives)`; after an execution completes, the checker backtracks
+//! the deepest decision with an untried alternative and replays that
+//! prefix — a depth-first walk of the decision tree. Persistent-set
+//! pruning and the preemption bound live in
+//! [`crate::exec::Exec::schedule`]; they shrink the tree, the walk here
+//! is generic.
+//!
+//! On failure the offending execution is replayed once more with
+//! tracing enabled, and the panic message carries the full schedule —
+//! both human-readable and as the choice vector accepted by
+//! `KCORE_CHECK_REPLAY` for deterministic re-runs.
+
+use crate::exec::{AbortExecution, Exec};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, OnceLock};
+
+/// Silences panic output from model threads: exploration *expects*
+/// failing executions, and the default hook would spam stderr with one
+/// backtrace per pruned schedule. Installed once, delegates anything
+/// not raised on a model thread to the previous hook.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_model_thread =
+                std::thread::current().name().is_some_and(|n| n.starts_with("kcore-check-model"));
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Configuration for one model-checking run.
+pub struct Checker {
+    max_schedules: usize,
+    preemptions: usize,
+    max_steps: usize,
+    replay: Option<Vec<usize>>,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker::new()
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Checker {
+            max_schedules: env_usize("KCORE_CHECK_MAX_SCHEDULES", 20_000),
+            preemptions: env_usize("KCORE_CHECK_PREEMPTIONS", 3),
+            max_steps: env_usize("KCORE_CHECK_MAX_STEPS", 50_000),
+            replay: None,
+        }
+    }
+
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    pub fn preemptions(mut self, n: usize) -> Self {
+        self.preemptions = n;
+        self
+    }
+
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Pins the exploration to a single schedule: the choice list from
+    /// a failure report. Equivalent to setting `KCORE_CHECK_REPLAY`.
+    pub fn replay_prefix(mut self, prefix: Vec<usize>) -> Self {
+        self.replay = Some(prefix);
+        self
+    }
+
+    /// Explores the model until exhaustion or the schedule bound.
+    /// Panics with a replayable report on the first failing execution.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Some(report) = self.explore(Arc::new(f)) {
+            panic!("{report}");
+        }
+    }
+
+    /// Inverse assertion for the mutation harness: explores the model
+    /// and returns the failure report, panicking if every schedule
+    /// passes (i.e. the checker failed to catch the seeded bug).
+    pub fn check_fails<F>(&self, f: F) -> String
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.explore(Arc::new(f)) {
+            Some(report) => report,
+            None => panic!(
+                "expected the model to fail under some schedule, but all \
+                 explored schedules passed (mutation harness has no teeth here)"
+            ),
+        }
+    }
+
+    /// Core DFS loop. Returns `Some(report)` on the first failure.
+    fn explore(&self, f: Arc<dyn Fn() + Send + Sync>) -> Option<String> {
+        install_quiet_hook();
+        // Hold the mutation table's reader side (unless this thread IS
+        // the mutating test) so a concurrently-running `weaken` can
+        // never bleed into this exploration.
+        #[cfg(kcore_check)]
+        let _shared = crate::mutate::state::shared_guard();
+        // KCORE_CHECK_REPLAY="3,0,1" pins the first decisions for
+        // deterministic single-schedule reproduction.
+        let pinned = self.replay.clone().or_else(|| {
+            std::env::var("KCORE_CHECK_REPLAY")
+                .ok()
+                .map(|replay| replay.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        });
+        if let Some(prefix) = pinned {
+            let (failure, log, trace) = self.run_one(&f, prefix, true);
+            return failure.map(|msg| render_report(&msg, &log, &trace, 1));
+        }
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            schedules += 1;
+            let (failure, log, _) = self.run_one(&f, prefix.clone(), false);
+            if let Some(msg) = failure {
+                // Replay with tracing for the report.
+                let choices: Vec<usize> = log.iter().map(|&(c, _)| c).collect();
+                let (_, _, trace) = self.run_one(&f, choices, true);
+                return Some(render_report(&msg, &log, &trace, schedules));
+            }
+            // Backtrack: deepest decision with an untried alternative.
+            let mut next = None;
+            for (i, &(chosen, alts)) in log.iter().enumerate().rev() {
+                if chosen + 1 < alts {
+                    next = Some(i);
+                    break;
+                }
+            }
+            match next {
+                Some(i) => {
+                    prefix = log[..i].iter().map(|&(c, _)| c).collect();
+                    prefix.push(log[i].0 + 1);
+                }
+                None => return None, // tree exhausted
+            }
+            if schedules >= self.max_schedules {
+                // Bounded exploration: stopping early is sound for a
+                // checker (no false alarms), it just covers less.
+                return None;
+            }
+        }
+    }
+
+    /// Runs a single execution under the given choice prefix.
+    fn run_one(
+        &self,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        prefix: Vec<usize>,
+        tracing: bool,
+    ) -> (Option<String>, Vec<(usize, usize)>, Vec<String>) {
+        let exec = Arc::new(Exec::new(prefix, self.preemptions, self.max_steps, tracing));
+        let tid0 = exec.add_thread(None);
+        debug_assert_eq!(tid0, 0);
+        let handle = spawn_model_thread(exec.clone(), tid0, {
+            let f = f.clone();
+            move || f()
+        });
+        exec.schedule();
+        let _ = handle.join();
+        let st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.failure.clone(), st.log.clone(), st.trace.clone())
+    }
+}
+
+/// Spawns an OS thread hosting model thread `tid`: installs the
+/// thread-local execution context, runs `f`, reports completion (or a
+/// real panic) back to the scheduler. Also used by the checked
+/// `thread::spawn` for threads the model itself creates.
+pub(crate) fn spawn_model_thread(
+    exec: Arc<Exec>,
+    tid: usize,
+    f: impl FnOnce() + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("kcore-check-model-{tid}"))
+        .spawn(move || {
+            crate::exec::set_current(Some((exec.clone(), tid)));
+            let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+            crate::exec::set_current(None);
+            let panic_msg = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.is::<AbortExecution>() {
+                        None
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        Some((*s).to_string())
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        Some(s.clone())
+                    } else {
+                        Some("<non-string panic payload>".to_string())
+                    }
+                }
+            };
+            exec.finish_thread(tid, panic_msg);
+        })
+        .expect("spawn model thread")
+}
+
+fn render_report(msg: &str, log: &[(usize, usize)], trace: &[String], schedules: usize) -> String {
+    let choices: Vec<String> = log.iter().map(|&(c, _)| c.to_string()).collect();
+    let mut out = String::new();
+    out.push_str("kcore-check: model failure\n");
+    out.push_str(&format!("  {msg}\n"));
+    out.push_str(&format!("  found after exploring {schedules} schedule(s)\n"));
+    out.push_str(&format!("  replay with: KCORE_CHECK_REPLAY=\"{}\"\n", choices.join(",")));
+    if !trace.is_empty() {
+        out.push_str("  offending schedule:\n");
+        for line in trace {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out
+}

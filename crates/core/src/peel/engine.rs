@@ -64,12 +64,12 @@ use super::{offline, vgc};
 use crate::config::PeelMode;
 use crate::Config;
 use kcore_buckets::{BucketStrategy, BucketStructure, HierarchicalBuckets, PriorityView};
+use kcore_check::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use kcore_graph::CsrGraph;
 use kcore_obs::span;
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::{HashBag, RunStats, TechniqueCounters};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Settle-round sentinel for elements that have not settled yet.
 pub(crate) const UNSET: u32 = u32::MAX;

@@ -37,11 +37,11 @@ use super::engine::{
 };
 use crate::config::{Config, HistogramKind, Offline};
 use kcore_buckets::{BucketStrategy, BucketStructure, SingleBucket};
+use kcore_check::sync::atomic::{AtomicU32, Ordering};
 use kcore_obs::span;
 use kcore_parallel::histogram::{histogram_atomic, histogram_auto, histogram_sort};
 use kcore_parallel::RunStats;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The offline decomposition driver. Sampling and VGC are online-only
 /// refinements (they exist to temper the online driver's atomics and

@@ -74,11 +74,11 @@
 use super::engine::{OnlineCtx, PeelProblem, Polluted, UnitIncidence, UNSET};
 use crate::config::{Sampling, Validation};
 use kcore_buckets::BucketStructure;
+use kcore_check::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use kcore_obs::{counter, span};
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::TechniqueCounters;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 
 /// Element tracks its exact priority (the plain Alg. 1 path).
 const EXACT: u8 = 0;

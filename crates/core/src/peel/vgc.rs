@@ -27,8 +27,8 @@
 //! lists commute, so no settle barrier is needed.
 
 use super::engine::{clamped_decrement, OnlineCtx, PeelProblem};
+use kcore_check::sync::atomic::Ordering;
 use kcore_obs::{counter, gauge_max};
-use std::sync::atomic::Ordering;
 
 /// Settles `v` at round `round`, processes its removals, and — with
 /// VGC enabled (`ctx.chain_limit > 0`) — chases the local peel chain

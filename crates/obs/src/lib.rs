@@ -69,7 +69,7 @@ pub mod ring;
 pub use report::{SpanAgg, ThreadTrace, TraceRecord, TraceReport};
 pub use ring::RecordKind;
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use kcore_check::sync::atomic::{AtomicU8, Ordering};
 
 /// Tracing level, parsed from `KCORE_TRACE`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -351,7 +351,7 @@ mod tests {
         let _g = serial();
         set_level(Level::Counters);
         reset();
-        let slot = std::sync::atomic::AtomicU64::new(0);
+        let slot = kcore_check::sync::atomic::AtomicU64::new(0);
         counter!(slot, "test.routed", 3);
         counter!(slot, "test.routed", 4);
         assert_eq!(slot.load(Ordering::Relaxed), 7);
@@ -365,7 +365,7 @@ mod tests {
         let _g = serial();
         set_level(Level::Off);
         reset();
-        let slot = std::sync::atomic::AtomicU64::new(0);
+        let slot = kcore_check::sync::atomic::AtomicU64::new(0);
         counter!(slot, "test.off_slot", 5);
         assert_eq!(slot.load(Ordering::Relaxed), 5, "legacy stats must not regress when off");
         assert!(!MetricsRegistry::counters().iter().any(|(n, _)| n == "test.off_slot"));
@@ -376,7 +376,7 @@ mod tests {
         let _g = serial();
         set_level(Level::Spans);
         reset();
-        std::thread::spawn(|| {
+        kcore_check::thread::spawn(|| {
             let _outer = span!("test.outer");
             for i in 0..3 {
                 let _inner = span!("test.inner", i);

@@ -6,9 +6,9 @@
 //! first use. The `Mutex`-guarded tables are reached once per
 //! *callsite* (or per dynamic name), never per record.
 
+use kcore_check::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use kcore_check::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Interned-name table. Ids are indices; names are `'static` (dynamic
 /// names are leaked once on first intern, bounded by distinct names).

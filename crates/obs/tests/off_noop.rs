@@ -4,8 +4,8 @@
 //! ever comes into existence. Flipping to `spans` in the same process
 //! then proves the very same callsites go live.
 
+use kcore_check::sync::atomic::{AtomicU64, Ordering};
 use kcore_obs::{counter, event, gauge_max, set_level, span, Level, MetricsRegistry, TraceReport};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 #[test]
 fn off_records_nothing_and_allocates_nothing() {

@@ -19,8 +19,8 @@
 //!   subrounds), and the exclusive borrow enforces that discipline at
 //!   compile time.
 
+use kcore_check::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Sentinel marking an empty slot. Element value `u32::MAX` is therefore
 /// not storable; vertex ids never reach it.

@@ -15,8 +15,8 @@
 //! Both return `(key, count)` pairs sorted by key, which is what the
 //! offline peel consumes.
 
+use kcore_check::sync::atomic::{AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Counts occurrences of each key via parallel sort + run-length encode.
 pub fn histogram_sort(mut keys: Vec<u32>) -> Vec<(u32, u32)> {

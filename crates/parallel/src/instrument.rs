@@ -16,7 +16,7 @@
 //! whose maximum tracks the paper's contention definition (Sec. 2) well
 //! enough to show sampling's effect (Sec. 4.1.5).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use kcore_check::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Burden charged per global synchronization (Cilkview's default ω).
 pub const OMEGA: u64 = 15_000;

@@ -31,11 +31,23 @@
 //! whose queues live one decomposition. Swap in the real crate via the
 //! workspace `[workspace.dependencies]` entry when crates.io access is
 //! available.
+//!
+//! Checker contract (see `queue::model_tests`, compiled under
+//! `RUSTFLAGS="--cfg kcore_check"`): the reserve-to-publish handshake —
+//! slot reserved by `fetch_add`, value written, then the `ready` flag
+//! flipped with Release and spun on with Acquire — is what hands the
+//! value across threads. Both flag sides are registered mutation sites
+//! (`segq.push.ready.release`, `segq.pop.ready.acquire`); weakening
+//! either to Relaxed makes the slot read a detected data race. Model
+//! tests also pin element conservation across segment installation,
+//! per-producer FIFO, and `is_empty`/`len` linearizability for
+//! completed pushes.
 
 pub mod queue {
-    use std::cell::UnsafeCell;
+    use kcore_check::cell::UnsafeCell;
+    use kcore_check::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+    use kcore_check::{hint, mutate, thread};
     use std::mem::MaybeUninit;
-    use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
     use std::sync::OnceLock;
 
     /// Bounded spin-then-yield backoff (crossbeam's `Backoff` pattern)
@@ -48,25 +60,45 @@ pub mod queue {
     }
 
     impl Backoff {
-        const SPIN_LIMIT: u32 = 64;
+        /// Spin budget before falling back to `yield_now`. Tiny under
+        /// the checker: a model spin is already a full scheduling
+        /// point, so two are enough to exercise the transition without
+        /// inflating the schedule tree.
+        const SPIN_LIMIT: u32 = if cfg!(kcore_check) { 2 } else { 64 };
 
         fn new() -> Self {
             Self { spins: 0 }
         }
 
+        /// Both arms are checker-visible yield points (the facade's
+        /// `spin_loop` maps to a spin-flagged yield inside a model), so
+        /// a reserve-to-publish wait can never wedge an exploration.
         fn snooze(&mut self) {
             if self.spins < Self::SPIN_LIMIT {
                 self.spins += 1;
-                std::hint::spin_loop();
+                hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                thread::yield_now();
             }
+        }
+
+        /// Whether the spin budget is exhausted (every further `snooze`
+        /// yields the core). Exposed for the bound assertions in tests.
+        #[cfg(test)]
+        fn is_yielding(&self) -> bool {
+            self.spins >= Self::SPIN_LIMIT
         }
     }
 
     /// Slots per segment: scaled by the machine's parallelism so more
     /// concurrent pushers amortize more pushes per segment installation.
     fn seg_capacity() -> usize {
+        // Two-slot segments under the checker: model tests cross a
+        // segment installation within a handful of pushes, keeping the
+        // interesting path inside a tractable schedule tree.
+        if cfg!(kcore_check) {
+            return 2;
+        }
         static CAP: OnceLock<usize> = OnceLock::new();
         *CAP.get_or_init(|| {
             let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -156,8 +188,11 @@ pub mod queue {
                 let cap = tail.slots.len();
                 let i = tail.high.fetch_add(1, Ordering::Relaxed);
                 if i < cap {
-                    unsafe { (*tail.slots[i].value.get()).write(value) };
-                    tail.slots[i].ready.store(true, Ordering::Release);
+                    tail.slots[i].value.with_mut(|p| unsafe { (*p).write(value) });
+                    tail.slots[i].ready.store(
+                        true,
+                        mutate::ordering("segq.push.ready.release", Ordering::Release),
+                    );
                     return;
                 }
                 if i == cap {
@@ -224,10 +259,15 @@ pub mod queue {
                         // pusher may be preempted mid-window — hence the
                         // yielding backoff).
                         let mut backoff = Backoff::new();
-                        while !head.slots[low].ready.load(Ordering::Acquire) {
+                        while !head.slots[low]
+                            .ready
+                            .load(mutate::ordering("segq.pop.ready.acquire", Ordering::Acquire))
+                        {
                             backoff.snooze();
                         }
-                        return Some(unsafe { (*head.slots[low].value.get()).assume_init_read() });
+                        return Some(
+                            head.slots[low].value.with(|p| unsafe { (*p).assume_init_read() }),
+                        );
                     }
                 }
                 // Fully-claimed segment: move to the successor. A
@@ -306,6 +346,132 @@ pub mod queue {
         }
     }
 
+    /// Model-checked tests of the reserve-to-publish protocol, compiled
+    /// only under the instrumented facade.
+    #[cfg(all(test, kcore_check))]
+    mod model_tests {
+        use super::*;
+        use kcore_check::sync::Arc;
+        use kcore_check::Checker;
+
+        /// Two producers, two pushes each (crossing a segment boundary
+        /// at `seg_capacity() == 2`), the main thread draining
+        /// concurrently: nothing lost, nothing duplicated, and each
+        /// producer's elements pop in push order.
+        #[test]
+        fn segq_conservation_and_per_producer_fifo() {
+            Checker::new().check(|| {
+                let q = Arc::new(SegQueue::new());
+                let handles: Vec<_> = (0..2u32)
+                    .map(|t| {
+                        let q = q.clone();
+                        thread::spawn(move || {
+                            q.push((t, 0u32));
+                            q.push((t, 1u32));
+                        })
+                    })
+                    .collect();
+                let mut got: Vec<(u32, u32)> = Vec::new();
+                while got.len() < 4 {
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => thread::yield_now(),
+                    }
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert!(q.pop().is_none(), "popped more than was pushed");
+                for t in 0..2u32 {
+                    let seq: Vec<u32> =
+                        got.iter().filter(|&&(p, _)| p == t).map(|&(_, i)| i).collect();
+                    assert_eq!(seq, [0, 1], "producer {t} FIFO violated: {got:?}");
+                }
+                let mut uniq = got.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), 4, "lost or duplicated element: {got:?}");
+            });
+        }
+
+        /// Linearizability of the emptiness queries: once a push has
+        /// completed (observed through a Release/Acquire flag), no
+        /// schedule may let `is_empty` answer true or `len` answer 0.
+        #[test]
+        fn segq_completed_push_visible_to_queries() {
+            Checker::new().check(|| {
+                let q = Arc::new(SegQueue::new());
+                let done = Arc::new(AtomicBool::new(false));
+                let (q2, d2) = (q.clone(), done.clone());
+                let t = thread::spawn(move || {
+                    q2.push(1u32);
+                    d2.store(true, Ordering::Release);
+                });
+                if done.load(Ordering::Acquire) {
+                    assert!(!q.is_empty(), "completed push invisible to is_empty");
+                    assert_eq!(q.len(), 1, "completed push not counted by len");
+                }
+                t.join().unwrap();
+            });
+        }
+
+        /// The Backoff satellite: its spin budget is bounded — after
+        /// `SPIN_LIMIT` snoozes every further one is a yield — and each
+        /// snooze is a scheduling point the checker can preempt at.
+        #[test]
+        fn backoff_spin_budget_is_bounded() {
+            Checker::new().check(|| {
+                let mut backoff = Backoff::new();
+                for _ in 0..Backoff::SPIN_LIMIT {
+                    assert!(!backoff.is_yielding(), "yielded inside the spin budget");
+                    backoff.snooze();
+                }
+                assert!(backoff.is_yielding(), "spin budget not exhausted at the limit");
+                backoff.snooze();
+            });
+        }
+
+        /// One producer, the main thread popping until the value lands:
+        /// the minimal shape whose only cross-thread edge is the
+        /// `ready` flag — the mutation tests below sever each side.
+        fn push_pop_once() {
+            let q = Arc::new(SegQueue::new());
+            let q2 = q.clone();
+            let t = thread::spawn(move || q2.push(7u32));
+            let v = loop {
+                match q.pop() {
+                    Some(v) => break v,
+                    None => thread::yield_now(),
+                }
+            };
+            assert_eq!(v, 7);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn segq_push_pop_once_passes() {
+            Checker::new().check(push_pop_once);
+        }
+
+        /// Mutation teeth: a Relaxed publish lets the popper read the
+        /// slot without the pusher's write ordered before it.
+        #[test]
+        fn mutation_segq_push_ready_release_has_teeth() {
+            let _weaken = mutate::weaken("segq.push.ready.release");
+            let report = Checker::new().check_fails(push_pop_once);
+            assert!(report.contains("data race"), "unexpected report: {report}");
+        }
+
+        /// Mutation teeth: a Relaxed drain-side load severs the same
+        /// edge from the popper's end.
+        #[test]
+        fn mutation_segq_pop_ready_acquire_has_teeth() {
+            let _weaken = mutate::weaken("segq.pop.ready.acquire");
+            let report = Checker::new().check_fails(push_pop_once);
+            assert!(report.contains("data race"), "unexpected report: {report}");
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -324,6 +490,10 @@ pub mod queue {
             assert!(q.is_empty());
         }
 
+        /// Per-producer push count; shrunk under Miri, whose
+        /// interpreter makes the full-size runs take minutes.
+        const PER_THREAD: u32 = if cfg!(miri) { 50 } else { 1000 };
+
         #[test]
         fn concurrent_pushes_all_arrive() {
             let q = SegQueue::new();
@@ -331,26 +501,37 @@ pub mod queue {
                 for t in 0..4u32 {
                     let q = &q;
                     s.spawn(move || {
-                        for i in 0..1000u32 {
-                            q.push(t * 1000 + i);
+                        for i in 0..PER_THREAD {
+                            q.push(t * PER_THREAD + i);
                         }
                     });
                 }
             });
-            assert_eq!(q.len(), 4000);
+            assert_eq!(q.len(), 4 * PER_THREAD as usize);
             let mut all: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
             all.sort_unstable();
-            assert_eq!(all, (0..4000u32).collect::<Vec<_>>());
+            assert_eq!(all, (0..4 * PER_THREAD).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn backoff_spins_then_yields() {
+            let mut backoff = Backoff::new();
+            for _ in 0..Backoff::SPIN_LIMIT {
+                assert!(!backoff.is_yielding());
+                backoff.snooze();
+            }
+            assert!(backoff.is_yielding());
         }
 
         #[test]
         fn per_thread_order_is_preserved() {
             let q = SegQueue::new();
+            let per_thread = if cfg!(miri) { 50 } else { 500 };
             std::thread::scope(|s| {
                 for t in 0..4u32 {
                     let q = &q;
                     s.spawn(move || {
-                        for i in 0..500u32 {
+                        for i in 0..per_thread {
                             q.push((t, i));
                         }
                     });
@@ -365,7 +546,7 @@ pub mod queue {
                 }
                 last[t as usize] = Some(i);
             }
-            assert!(last.iter().all(|l| *l == Some(499)));
+            assert!(last.iter().all(|l| *l == Some(per_thread - 1)));
         }
 
         #[test]
@@ -418,14 +599,15 @@ pub mod queue {
             // the `completed` counter, bumped after each push), nothing
             // ever pops here, so `is_empty` must answer false and `len`
             // must be at least the completed count.
-            use std::sync::atomic::{AtomicUsize, Ordering};
+            use kcore_check::sync::atomic::{AtomicUsize, Ordering};
+            let pushes = if cfg!(miri) { 300 } else { 20_000 };
             let q = SegQueue::new();
             let completed = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 let q = &q;
                 let completed = &completed;
                 s.spawn(move || {
-                    for i in 0..20_000u32 {
+                    for i in 0..pushes {
                         q.push(i);
                         completed.fetch_add(1, Ordering::Release);
                     }
@@ -436,13 +618,13 @@ pub mod queue {
                         assert!(!q.is_empty(), "{done} pushes completed, none popped");
                         assert!(q.len() >= done, "len {} < completed {done}", q.len());
                     }
-                    if done == 20_000 {
+                    if done == pushes {
                         break;
                     }
-                    std::hint::spin_loop();
+                    hint::spin_loop();
                 });
             });
-            assert_eq!(q.len(), 20_000);
+            assert_eq!(q.len(), pushes);
         }
     }
 }

@@ -7,7 +7,7 @@
 //! discipline, without a model checker to drive the schedule).
 
 use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use kcore_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Encodes (producer, sequence) into one u64 so conservation and order
 /// can be checked from the popped values alone.
@@ -50,7 +50,7 @@ fn mpmc_push_pop_conserves_every_value() {
                             }
                             break;
                         }
-                        None => std::hint::spin_loop(),
+                        None => kcore_check::hint::spin_loop(),
                     }
                 }
                 let _ = c;

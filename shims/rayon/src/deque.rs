@@ -11,118 +11,358 @@
 //! reports failure and the scheduler degrades gracefully by running the
 //! task inline instead of publishing it.
 //!
-//! Element slots are plain memory read with `ptr::read` under the
-//! protocol's fences; a thief's speculative read racing an owner wrap is
-//! discarded when its `top` CAS fails, the same benign-race argument
-//! crossbeam-deque relies on. This is a **deliberate, documented
-//! exception** to the C++11 data-race rules (the racing read's value is
-//! never used): Miri and ThreadSanitizer will flag it, so exclude this
-//! module from such runs rather than treating a report here as a new
-//! bug. Removing it would require per-word atomic slot reads at a cost
-//! on every push/take.
+//! # Memory-ordering contract (checker-enforced)
+//!
+//! All atomics go through the `kcore-check` facade, and the two
+//! load-bearing orderings are named mutation sites:
+//!
+//! * `deque.push.publish` — the `Release` fence in [`Deque::push`]
+//!   orders the slot write before the `bottom` publication, so a thief
+//!   that observes the new `bottom` also observes the element. Weakened
+//!   to `Relaxed`, a thief can steal an unwritten slot; the model tests
+//!   in this module catch it as a committed racy read.
+//! * `deque.take.fence` — the `SeqCst` fence in [`Deque::take`]
+//!   arbitrates the owner's `bottom` decrement against thieves' `top`
+//!   CASes. Weakened, the owner can observe a stale `top`, take a slot
+//!   a thief already stole without the last-element CAS, and the model
+//!   conservation test observes the duplicated task.
+//!
+//! A thief's read of the element slot is *speculative*: it may race the
+//! owner rewriting the slot after a wrap, and is valid only if the
+//! subsequent `top` CAS succeeds. Under the model checker this is an
+//! explicit [`annotate::speculative`] scope whose verdict is delivered
+//! by [`annotate::commit_speculation`] — a racy read that is *used*
+//! (CAS succeeded) still fails the model. Miri and ThreadSanitizer
+//! cannot express that argument, so those runs (`cfg(miri)` /
+//! `cfg(kcore_tsan)`) swap in [`strict`], a mutex-backed deque with the
+//! same API and LIFO/FIFO semantics, instead of excluding the tests.
 
-use crate::registry::Task;
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, Ordering};
+#[cfg(not(any(miri, kcore_tsan)))]
+pub(crate) use lockfree::Deque;
+#[cfg(any(miri, kcore_tsan))]
+pub(crate) use strict::Deque;
 
-/// Slots per deque. Must be a power of two.
-const CAPACITY: usize = 1024;
-const MASK: usize = CAPACITY - 1;
+#[cfg(not(any(miri, kcore_tsan)))]
+mod lockfree {
+    use crate::registry::Task;
+    use kcore_check::cell::UnsafeCell;
+    use kcore_check::sync::atomic::{fence, AtomicIsize, Ordering};
+    use kcore_check::{annotate, mutate};
+    use std::mem::MaybeUninit;
 
-/// A fixed-capacity Chase–Lev deque of [`Task`]s.
-pub(crate) struct Deque {
-    /// Next slot the owner will push into (owner-written).
-    bottom: AtomicIsize,
-    /// Next slot thieves will steal from (CAS-advanced).
-    top: AtomicIsize,
-    buffer: Box<[UnsafeCell<MaybeUninit<Task>>]>,
-}
+    /// Slots per deque. Must be a power of two. Tiny under the model
+    /// checker so wrap-around (the speculative-read hazard) is reached
+    /// within a few operations.
+    #[cfg(not(kcore_check))]
+    const CAPACITY: usize = 1024;
+    #[cfg(kcore_check)]
+    const CAPACITY: usize = 4;
+    const MASK: usize = CAPACITY - 1;
 
-// SAFETY: all cross-thread access to `buffer` follows the Chase–Lev
-// protocol: a slot is read by at most one party (the owner's `take` or
-// the thief whose `top` CAS succeeds), and the fences below order the
-// element writes against the index publications.
-unsafe impl Sync for Deque {}
-unsafe impl Send for Deque {}
-
-impl Deque {
-    pub(crate) fn new() -> Self {
-        Self {
-            bottom: AtomicIsize::new(0),
-            top: AtomicIsize::new(0),
-            buffer: (0..CAPACITY).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
-        }
+    /// A fixed-capacity Chase–Lev deque of [`Task`]s.
+    pub(crate) struct Deque {
+        /// Next slot the owner will push into (owner-written).
+        bottom: AtomicIsize,
+        /// Next slot thieves will steal from (CAS-advanced).
+        top: AtomicIsize,
+        buffer: Box<[UnsafeCell<MaybeUninit<Task>>]>,
     }
 
-    /// Owner-only: publishes `task` at the bottom. Fails (returning the
-    /// task) when the buffer is full.
-    pub(crate) fn push(&self, task: Task) -> Result<(), Task> {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Acquire);
-        if b.wrapping_sub(t) >= CAPACITY as isize {
-            return Err(task);
-        }
-        unsafe { (*self.buffer[b as usize & MASK].get()).write(task) };
-        // Publish the element before the new bottom becomes visible to
-        // thieves.
-        fence(Ordering::Release);
-        self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
-        Ok(())
-    }
+    // SAFETY: all cross-thread access to `buffer` follows the Chase–Lev
+    // protocol: a slot is read by at most one party (the owner's `take`
+    // or the thief whose `top` CAS succeeds), and the fences below order
+    // the element writes against the index publications.
+    unsafe impl Sync for Deque {}
+    unsafe impl Send for Deque {}
 
-    /// Owner-only: pops the most recently pushed task (LIFO end).
-    pub(crate) fn take(&self) -> Option<Task> {
-        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
-        self.bottom.store(b, Ordering::Relaxed);
-        // Order the bottom decrement against the top read: a concurrent
-        // thief must either see the lowered bottom or lose the CAS race.
-        fence(Ordering::SeqCst);
-        let t = self.top.load(Ordering::Relaxed);
-        if t <= b {
-            // Non-empty.
-            let task = unsafe { (*self.buffer[b as usize & MASK].get()).assume_init_read() };
-            if t == b {
-                // Last element: race the thieves for it.
+    impl Deque {
+        pub(crate) fn new() -> Self {
+            Self {
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+                buffer: (0..CAPACITY).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            }
+        }
+
+        /// Owner-only: publishes `task` at the bottom. Fails (returning
+        /// the task) when the buffer is full.
+        pub(crate) fn push(&self, task: Task) -> Result<(), Task> {
+            let b = self.bottom.load(Ordering::Relaxed);
+            let t = self.top.load(Ordering::Acquire);
+            if b.wrapping_sub(t) >= CAPACITY as isize {
+                return Err(task);
+            }
+            self.buffer[b as usize & MASK].with_mut(|p| unsafe { (*p).write(task) });
+            // Publish the element before the new bottom becomes visible
+            // to thieves.
+            fence(mutate::ordering("deque.push.publish", Ordering::Release));
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            Ok(())
+        }
+
+        /// Owner-only: pops the most recently pushed task (LIFO end).
+        pub(crate) fn take(&self) -> Option<Task> {
+            let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+            self.bottom.store(b, Ordering::Relaxed);
+            // Order the bottom decrement against the top read: a
+            // concurrent thief must either see the lowered bottom or
+            // lose the CAS race.
+            fence(mutate::ordering("deque.take.fence", Ordering::SeqCst));
+            let t = self.top.load(Ordering::Relaxed);
+            if t <= b {
+                // Non-empty.
+                let task =
+                    self.buffer[b as usize & MASK].with(|p| unsafe { (*p).assume_init_read() });
+                if t == b {
+                    // Last element: race the thieves for it.
+                    let won = self
+                        .top
+                        .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok();
+                    self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                    won.then_some(task)
+                } else {
+                    Some(task)
+                }
+            } else {
+                // Empty: restore bottom.
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                None
+            }
+        }
+
+        /// Any thread: steals the oldest task (FIFO end). Returns
+        /// `None` when the deque is observed empty; internally retries
+        /// lost CAS races against other thieves.
+        pub(crate) fn steal(&self) -> Option<Task> {
+            loop {
+                let t = self.top.load(Ordering::Acquire);
+                fence(Ordering::SeqCst);
+                let b = self.bottom.load(Ordering::Acquire);
+                if t >= b {
+                    return None;
+                }
+                // Speculative read; only valid if the CAS below
+                // confirms the slot was still ours to take. (`Task` is
+                // plain data, so the duplicate read is dropped without
+                // effect when the CAS loses.)
+                let task = annotate::speculative(|| {
+                    self.buffer[t as usize & MASK].with(|p| unsafe { (*p).assume_init_read() })
+                });
                 let won = self
                     .top
                     .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
-                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
-                won.then_some(task)
-            } else {
-                Some(task)
+                annotate::commit_speculation(won);
+                if won {
+                    return Some(task);
+                }
+                // Lost the race (another thief or the owner's
+                // last-element pop); re-examine the deque.
             }
-        } else {
-            // Empty: restore bottom.
-            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
-            None
         }
     }
+}
 
-    /// Any thread: steals the oldest task (FIFO end). Returns `None`
-    /// when the deque is observed empty; internally retries lost CAS
-    /// races against other thieves.
-    pub(crate) fn steal(&self) -> Option<Task> {
-        loop {
-            let t = self.top.load(Ordering::Acquire);
-            fence(Ordering::SeqCst);
-            let b = self.bottom.load(Ordering::Acquire);
-            if t >= b {
-                return None;
-            }
-            // Speculative read; only valid if the CAS below confirms the
-            // slot was still ours to take.
-            let task = unsafe { (*self.buffer[t as usize & MASK].get()).assume_init_read() };
-            if self
-                .top
-                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(task);
-            }
-            // Lost the race (another thief or the owner's last-element
-            // pop); re-examine the deque.
+/// Strict fallback for Miri / ThreadSanitizer builds: same API and
+/// LIFO-owner/FIFO-thief semantics, one mutex-protected ring. The
+/// scheduler exercises identical control flow; only the lock-free slot
+/// protocol (whose speculative read those tools reject by design) is
+/// replaced.
+#[cfg(any(miri, kcore_tsan))]
+mod strict {
+    use crate::registry::Task;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    const CAPACITY: usize = 1024;
+
+    pub(crate) struct Deque {
+        inner: Mutex<VecDeque<Task>>,
+    }
+
+    impl Deque {
+        pub(crate) fn new() -> Self {
+            Self { inner: Mutex::new(VecDeque::with_capacity(CAPACITY)) }
         }
+
+        pub(crate) fn push(&self, task: Task) -> Result<(), Task> {
+            let mut q = self.inner.lock().expect("deque poisoned");
+            if q.len() >= CAPACITY {
+                return Err(task);
+            }
+            q.push_back(task);
+            Ok(())
+        }
+
+        pub(crate) fn take(&self) -> Option<Task> {
+            self.inner.lock().expect("deque poisoned").pop_back()
+        }
+
+        pub(crate) fn steal(&self) -> Option<Task> {
+            self.inner.lock().expect("deque poisoned").pop_front()
+        }
+    }
+}
+
+/// Model tests: only meaningful (and only compiled) under
+/// `RUSTFLAGS="--cfg kcore_check"`, where the facade routes to the
+/// instrumented runtime.
+#[cfg(all(test, kcore_check, not(any(miri, kcore_tsan))))]
+mod model_tests {
+    use super::Deque;
+    use crate::registry::Task;
+    use kcore_check::sync::Arc;
+    use kcore_check::{mutate, thread, Checker};
+
+    /// A tagged no-op task; the tag rides in `lo` so tests can track
+    /// which logical task each pop observed.
+    fn task(tag: usize) -> Task {
+        unsafe fn noop(_job: *const (), _lo: usize, _hi: usize) {}
+        Task { job: std::ptr::null(), runner: noop, lo: tag, hi: tag, grain: 1 }
+    }
+
+    /// Owner pushes N tasks and drains with `take` while a thief
+    /// steals: every task is delivered exactly once (conservation), and
+    /// the thief observes the owner's push order (FIFO at the top end).
+    fn owner_vs_thief(pushes: usize) {
+        let q = Arc::new(Deque::new());
+        let thief_q = q.clone();
+        let thief = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                if let Some(t) = thief_q.steal() {
+                    got.push(t.lo);
+                }
+            }
+            got
+        });
+        let mut mine = Vec::new();
+        for i in 0..pushes {
+            q.push(task(i)).unwrap_or_else(|_| panic!("deque full"));
+        }
+        while let Some(t) = q.take() {
+            mine.push(t.lo);
+        }
+        let stolen = thief.join().unwrap();
+        let mut all = mine.clone();
+        all.extend(&stolen);
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..pushes).collect();
+        assert_eq!(all, expect, "conservation violated: mine={mine:?} stolen={stolen:?}");
+        // FIFO at the steal end: the thief's tags must be increasing.
+        assert!(stolen.windows(2).all(|w| w[0] < w[1]), "steals out of FIFO order: {stolen:?}");
+    }
+
+    #[test]
+    fn chase_lev_conservation() {
+        Checker::new().check(|| owner_vs_thief(3));
+    }
+
+    /// Wrap-around: more pushes than `CAPACITY` (4 under the model)
+    /// with interleaved takes, so thieves race the owner rewriting
+    /// slots — the speculative-read hazard. Every schedule must still
+    /// conserve tasks.
+    #[test]
+    fn chase_lev_wraparound_conservation() {
+        Checker::new().check(|| {
+            let q = Arc::new(Deque::new());
+            let thief_q = q.clone();
+            let thief = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Some(t) = thief_q.steal() {
+                        got.push(t.lo);
+                    }
+                }
+                got
+            });
+            let mut mine = Vec::new();
+            for i in 0..6usize {
+                q.push(task(i)).unwrap_or_else(|_| panic!("deque full"));
+                if i % 2 == 1 {
+                    if let Some(t) = q.take() {
+                        mine.push(t.lo);
+                    }
+                }
+            }
+            while let Some(t) = q.take() {
+                mine.push(t.lo);
+            }
+            let stolen = thief.join().unwrap();
+            let mut all = mine.clone();
+            all.extend(&stolen);
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(
+                all.len(),
+                mine.len() + stolen.len(),
+                "task duplicated: mine={mine:?} stolen={stolen:?}"
+            );
+            assert_eq!(
+                all,
+                (0..6).collect::<Vec<_>>(),
+                "task lost: mine={mine:?} stolen={stolen:?}"
+            );
+        });
+    }
+
+    /// Two thieves racing the owner for the last element: exactly one
+    /// party wins it.
+    #[test]
+    fn chase_lev_last_element_race() {
+        Checker::new().check(|| {
+            let q = Arc::new(Deque::new());
+            q.push(task(7)).unwrap_or_else(|_| panic!("deque full"));
+            let t1_q = q.clone();
+            let t1 = thread::spawn(move || t1_q.steal().map(|t| t.lo));
+            let mine = q.take().map(|t| t.lo);
+            let stolen = t1.join().unwrap();
+            let winners = usize::from(mine.is_some()) + usize::from(stolen.is_some());
+            assert_eq!(
+                winners, 1,
+                "last element taken {winners} times (mine={mine:?} stolen={stolen:?})"
+            );
+        });
+    }
+
+    /// Mutation: weakening the push-publish fence must let a thief
+    /// observe `bottom` without the slot contents — a racy speculative
+    /// read that gets *committed*, which the checker rejects.
+    #[test]
+    fn mutation_push_publish_has_teeth() {
+        let _m = mutate::weaken("deque.push.publish");
+        let report = Checker::new().check_fails(|| owner_vs_thief(3));
+        assert!(
+            report.contains("speculative racy read") || report.contains("data race"),
+            "unexpected failure mode: {report}"
+        );
+    }
+
+    /// Mutation: weakening the take fence lets the owner read a stale
+    /// `top` and take a slot a thief already stole (no last-element
+    /// CAS), violating conservation.
+    #[test]
+    fn mutation_take_fence_has_teeth() {
+        let _m = mutate::weaken("deque.take.fence");
+        Checker::new().check_fails(|| {
+            let q = Arc::new(Deque::new());
+            for i in 0..2usize {
+                q.push(task(i)).unwrap_or_else(|_| panic!("deque full"));
+            }
+            let thief_q = q.clone();
+            let thief = thread::spawn(move || {
+                let a = thief_q.steal().map(|t| t.lo);
+                let b = thief_q.steal().map(|t| t.lo);
+                (a, b)
+            });
+            let mine = q.take().map(|t| t.lo);
+            let (a, b) = thief.join().unwrap();
+            let mut seen = [false; 2];
+            for tag in [mine, a, b].into_iter().flatten() {
+                assert!(!seen[tag], "task {tag} delivered twice");
+                seen[tag] = true;
+            }
+        });
     }
 }

@@ -44,12 +44,13 @@
 mod deque;
 mod registry;
 
+use kcore_check::cell::UnsafeCell;
+use kcore_check::sync::atomic::{AtomicUsize, Ordering};
+use kcore_check::sync::{Arc, Mutex};
 use registry::{Latch, RegistryShared, Task};
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 
 pub mod prelude {
     pub use crate::{
@@ -243,9 +244,9 @@ fn run_blocks<R: Send>(n: usize, f: &(dyn Fn(Range<usize>) -> R + Sync)) -> Vec<
 /// `Arc`-owned so the executor can outlive the caller's stack frame
 /// while notifying (see the latch's lifetime protocol).
 struct JoinJob<B, RB> {
-    closure: std::cell::UnsafeCell<Option<B>>,
-    result: std::cell::UnsafeCell<Option<RB>>,
-    panic: std::cell::UnsafeCell<Option<Box<dyn Any + Send>>>,
+    closure: UnsafeCell<Option<B>>,
+    result: UnsafeCell<Option<RB>>,
+    panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
     latch: Arc<Latch>,
 }
 
@@ -260,10 +261,11 @@ where
     RB: Send,
 {
     let job = unsafe { &*(job as *const JoinJob<B, RB>) };
-    let closure = unsafe { (*job.closure.get()).take() }.expect("join task executed twice");
+    let closure =
+        job.closure.with_mut(|p| unsafe { (*p).take() }).expect("join task executed twice");
     match catch_unwind(AssertUnwindSafe(closure)) {
-        Ok(result) => unsafe { *job.result.get() = Some(result) },
-        Err(payload) => unsafe { *job.panic.get() = Some(payload) },
+        Ok(result) => job.result.with_mut(|p| unsafe { *p = Some(result) }),
+        Err(payload) => job.panic.with_mut(|p| unsafe { *p = Some(payload) }),
     }
     // Owned clone across `set`: the caller may free `job` the instant
     // `done` becomes visible, while `set` is still notifying.
@@ -290,9 +292,9 @@ where
         return (ra, rb);
     }
     let job = JoinJob::<B, RB> {
-        closure: std::cell::UnsafeCell::new(Some(b)),
-        result: std::cell::UnsafeCell::new(None),
-        panic: std::cell::UnsafeCell::new(None),
+        closure: UnsafeCell::new(Some(b)),
+        result: UnsafeCell::new(None),
+        panic: UnsafeCell::new(None),
         latch: Arc::new(Latch::new()),
     };
     let job_ptr = &job as *const JoinJob<B, RB> as *const ();
@@ -344,10 +346,11 @@ fn unpack_join<B, RA, RB>(ra: Result<RA, Box<dyn Any + Send>>, job: &JoinJob<B, 
         Ok(v) => v,
         Err(payload) => resume_unwind(payload),
     };
-    if let Some(payload) = unsafe { (*job.panic.get()).take() } {
+    if let Some(payload) = job.panic.with_mut(|p| unsafe { (*p).take() }) {
         resume_unwind(payload);
     }
-    let rb = unsafe { (*job.result.get()).take() }.expect("join: second branch never ran");
+    let rb =
+        job.result.with_mut(|p| unsafe { (*p).take() }).expect("join: second branch never ran");
     (ra, rb)
 }
 
@@ -417,9 +420,9 @@ impl ThreadPool {
             }
         }
         let job = JoinJob::<OP, R> {
-            closure: std::cell::UnsafeCell::new(Some(op)),
-            result: std::cell::UnsafeCell::new(None),
-            panic: std::cell::UnsafeCell::new(None),
+            closure: UnsafeCell::new(Some(op)),
+            result: UnsafeCell::new(None),
+            panic: UnsafeCell::new(None),
             latch: Arc::new(Latch::new()),
         };
         let task = Task {

@@ -29,9 +29,12 @@
 //! `kcore_parallel::pool::scheduler_stats`.
 
 use crate::deque::Deque;
+use kcore_check::mutate;
+use kcore_check::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use kcore_check::sync::{Arc, Condvar, Mutex};
+use kcore_check::thread;
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Process-wide count of successful steals (tasks taken from another
 /// worker's deque).
@@ -117,6 +120,14 @@ unsafe impl Send for Task {}
 /// stack frame — as soon as `done` reads true, which races the tail of
 /// `set` (condvar lock + notify); the completer's own clone keeps the
 /// latch alive through that window, so `set` never touches freed memory.
+///
+/// Checker contract (see `model_tests`): the Release store in [`set`]
+/// paired with the Acquire load in [`probe`] is what publishes the
+/// job's results to a probing waiter — both sides are registered
+/// mutation sites (`latch.done.release`, `latch.probe.acquire`) and
+/// weakening either to Relaxed makes the payload read a detected data
+/// race. The clone-before-set lifetime rule is enforced as a
+/// use-after-free regression test (the PR 3 bug shape).
 pub(crate) struct Latch {
     done: AtomicBool,
     lock: Mutex<()>,
@@ -129,7 +140,7 @@ impl Latch {
     }
 
     pub(crate) fn probe(&self) -> bool {
-        self.done.load(Ordering::Acquire)
+        self.done.load(mutate::ordering("latch.probe.acquire", Ordering::Acquire))
     }
 
     /// Marks the latch done and wakes blocked waiters. Callers must own
@@ -140,7 +151,7 @@ impl Latch {
         // done=false under the lock is guaranteed to be parked on the
         // condvar before the store+notify happen, so no wakeup is lost.
         let _guard = self.lock.lock().expect("latch lock poisoned");
-        self.done.store(true, Ordering::Release);
+        self.done.store(true, mutate::ordering("latch.done.release", Ordering::Release));
         self.cv.notify_all();
     }
 
@@ -325,7 +336,7 @@ pub(crate) fn work_until(shared: &RegistryShared, index: usize, done: impl Fn() 
             Some(task) => execute(shared, index, task),
             // Remaining tasks are in flight on other workers; let them
             // run (they may be timesharing this core).
-            None => std::thread::yield_now(),
+            None => thread::yield_now(),
         }
     }
 }
@@ -377,7 +388,7 @@ fn worker_main(shared: Arc<RegistryShared>, index: usize) {
 /// A worker pool: shared scheduling state plus owned join handles.
 pub(crate) struct Registry {
     pub(crate) shared: Arc<RegistryShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl Registry {
@@ -400,7 +411,7 @@ impl Registry {
         let handles = (0..threads)
             .map(|index| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("rayon-shim-{index}"))
                     .spawn(move || worker_main(shared, index))
                     .expect("rayon-shim: failed to spawn worker")
@@ -421,6 +432,124 @@ impl Drop for Registry {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Model-checked tests of the latch protocol, compiled only under the
+/// instrumented facade (`RUSTFLAGS="--cfg kcore_check"`). These pin the
+/// two properties the runtime leans on:
+///
+/// * publication — a waiter that observes [`Latch::probe`] `== true`
+///   also observes every write the completer made before [`Latch::set`]
+///   (Release store / Acquire load pairing; both sides have mutation
+///   teeth);
+/// * lifetime — the completer must own an `Arc` handle on the latch
+///   (the PR 3 use-after-free regression: a completer touching a latch
+///   it does not own dies the moment the waiter frees it).
+#[cfg(all(test, kcore_check, not(any(miri, kcore_tsan))))]
+mod model_tests {
+    use super::Latch;
+    use kcore_check::cell::UnsafeCell;
+    use kcore_check::hint::spin_loop;
+    use kcore_check::sync::Arc;
+    use kcore_check::{mutate, thread, Checker};
+
+    /// Writer fills a payload and `set`s the latch; reader spins on
+    /// `probe` and then reads the payload. The exact shape `join` and
+    /// block jobs rely on when the submitting thread polls instead of
+    /// parking.
+    fn probe_publishes_payload() {
+        let payload = Arc::new(UnsafeCell::new(0u64));
+        let latch = Arc::new(Latch::new());
+        let (p2, l2) = (payload.clone(), latch.clone());
+        let t = thread::spawn(move || {
+            p2.with_mut(|p| unsafe { *p = 7 });
+            l2.set();
+        });
+        while !latch.probe() {
+            spin_loop();
+        }
+        let v = payload.with(|p| unsafe { *p });
+        assert_eq!(v, 7, "probe observed done but not the completer's payload");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn latch_probe_publishes_payload() {
+        Checker::new().check(probe_publishes_payload);
+    }
+
+    /// The blocking path: `wait` must never sleep through a `set`
+    /// (store + notify inside the critical section), in any schedule.
+    /// A lost wakeup would surface as a model deadlock.
+    #[test]
+    fn latch_wait_never_misses_set() {
+        Checker::new().check(|| {
+            let latch = Arc::new(Latch::new());
+            let l2 = latch.clone();
+            let t = thread::spawn(move || l2.set());
+            latch.wait();
+            assert!(latch.probe());
+            t.join().unwrap();
+        });
+    }
+
+    /// PR 3 regression, buggy shape: the completer holds only a raw
+    /// pointer, so when the waiter frees the latch right after `probe`
+    /// flips, the tail of `set` (notify under the latch mutex) touches
+    /// freed memory. The checker must find that schedule.
+    #[test]
+    fn latch_completer_without_handle_is_use_after_free() {
+        let report = Checker::new().check_fails(|| {
+            let latch = Arc::new(Latch::new());
+            let p = &*latch as *const Latch as usize;
+            let t = thread::spawn(move || {
+                // SAFETY: deliberately unsound — models the pre-fix
+                // protocol where the completer does not own the latch.
+                unsafe { (*(p as *const Latch)).set() };
+            });
+            while !latch.probe() {
+                spin_loop();
+            }
+            drop(latch);
+            t.join().unwrap();
+        });
+        assert!(report.contains("use-after-free"), "unexpected report: {report}");
+    }
+
+    /// The fixed protocol: the completer clones the `Arc` before `set`,
+    /// so the waiter-side free can never strand it. Every schedule is
+    /// clean.
+    #[test]
+    fn latch_completer_with_handle_passes() {
+        Checker::new().check(|| {
+            let latch = Arc::new(Latch::new());
+            let l2 = latch.clone();
+            let t = thread::spawn(move || l2.set());
+            while !latch.probe() {
+                spin_loop();
+            }
+            drop(latch);
+            t.join().unwrap();
+        });
+    }
+
+    /// Mutation teeth: weakening the `set`-side Release store to
+    /// Relaxed severs the publication edge — the payload read races.
+    #[test]
+    fn mutation_latch_done_release_has_teeth() {
+        let _weaken = mutate::weaken("latch.done.release");
+        let report = Checker::new().check_fails(probe_publishes_payload);
+        assert!(report.contains("data race"), "unexpected report: {report}");
+    }
+
+    /// Mutation teeth: weakening the `probe`-side Acquire load to
+    /// Relaxed severs the same edge from the reader's end.
+    #[test]
+    fn mutation_latch_probe_acquire_has_teeth() {
+        let _weaken = mutate::weaken("latch.probe.acquire");
+        let report = Checker::new().check_fails(probe_publishes_payload);
+        assert!(report.contains("data race"), "unexpected report: {report}");
     }
 }
 

@@ -4,9 +4,9 @@
 //! asserts exact results — the scheduler may order execution however it
 //! likes, but the answers must be oracle-identical run after run.
 
+use kcore_check::sync::atomic::{AtomicU64, Ordering};
 use rayon::prelude::*;
 use rayon::{current_num_threads, join, stats, ThreadPoolBuilder};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// xorshift64* — a tiny seeded generator so the skew pattern is
 /// reproducible across runs and platforms.
