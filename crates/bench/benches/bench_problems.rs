@@ -7,16 +7,21 @@
 //! adaptive strategy and, for the cheapest graph, the offline driver.
 //!
 //! This is the engine-generality benchmark: one loop, five element
-//! universes / round structures. k-truss additionally charges its
-//! setup (edge index + triangle supports), reported separately so the
-//! peel itself stays comparable. The approx-densest ε sweep is the
-//! timing side of the rounds-vs-ε law (`O(log₁₊ε n)` rounds, asserted
-//! in `tests/proptest_problems.rs`): larger ε → fewer, fatter rounds.
+//! universes / round structures. k-truss is reported in three cuts so
+//! the trajectory record can attribute wins: `ktruss` (end-to-end:
+//! fused setup + peel), `ktruss-setup` (the fused one-pass
+//! orientation + edge index + supports build alone), and `ktruss-peel`
+//! (peel over a pre-built [`TriangleCtx`], what
+//! `Decomposition::with_ctx` makes possible). A per-kernel ablation
+//! (`ktruss-kernel-*`, forced via [`TriangleCtx::build_with_kernel`])
+//! runs on the two power-law-ish graphs where kernel choice actually
+//! varies. The approx-densest ε sweep is the timing side of the
+//! rounds-vs-ε law (`O(log₁₊ε n)` rounds, asserted in
+//! `tests/proptest_problems.rs`): larger ε → fewer, fatter rounds.
 
 use criterion::{black_box, criterion_group, Criterion};
-use kcore::{Config, Decomposition, Techniques};
-use kcore_graph::triangles::edge_supports;
-use kcore_graph::{gen, EdgeIndex};
+use kcore::{Config, Decomposition, Techniques, TriKernel, TriangleCtx};
+use kcore_graph::gen;
 
 fn bench_problems(c: &mut Criterion) {
     let graphs = [
@@ -36,15 +41,31 @@ fn bench_problems(c: &mut Criterion) {
             b.iter(|| black_box(Decomposition::ktruss(g).exact_config(config).run()))
         });
         c.bench_function(&format!("problems/{name}/ktruss-setup"), |b| {
-            b.iter(|| {
-                let idx = EdgeIndex::build(g);
-                black_box(edge_supports(g, &idx))
-            })
+            b.iter(|| black_box(TriangleCtx::build(g)))
+        });
+        let ctx = TriangleCtx::build(g);
+        c.bench_function(&format!("problems/{name}/ktruss-peel"), |b| {
+            b.iter(|| black_box(Decomposition::ktruss(g).with_ctx(&ctx).exact_config(config).run()))
         });
         for eps in kcore::SWEPT_EPSILONS {
             c.bench_function(&format!("problems/{name}/approx-densest-eps{eps}"), |b| {
                 b.iter(|| {
                     black_box(Decomposition::approx_densest(g, eps).exact_config(config).run())
+                })
+            });
+        }
+    }
+    // Kernel ablation: end-to-end k-truss (forced-kernel fused setup +
+    // peel) on the graphs where pair skew makes the choice matter —
+    // the BA power-law graph and the adversarial HCNS construction
+    // (one kmax-clique of hubs plus a low-degree chain).
+    let ablation = [("ba-3000", &graphs[0].1), ("hcns-150", &gen::hcns(150))];
+    for (name, g) in ablation {
+        for kernel in [TriKernel::Auto, TriKernel::Merge, TriKernel::Gallop, TriKernel::Bitset] {
+            c.bench_function(&format!("problems/{name}/ktruss-kernel-{}", kernel.as_str()), |b| {
+                b.iter(|| {
+                    let ctx = TriangleCtx::build_with_kernel(g, kernel);
+                    black_box(Decomposition::ktruss(g).with_ctx(&ctx).exact_config(config).run())
                 })
             });
         }

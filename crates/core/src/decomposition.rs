@@ -44,7 +44,7 @@ use crate::{
     ApproxDensestResult, Config, CorenessResult, DensestResult, KhCoreResult, TrussnessResult,
 };
 use kcore_buckets::BucketStrategy;
-use kcore_graph::CsrGraph;
+use kcore_graph::{CsrGraph, TriangleCtx};
 
 /// Problem selector for k-core (see [`Decomposition::kcore`]).
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +52,11 @@ pub struct KcoreSpec(());
 
 /// Problem selector for k-truss (see [`Decomposition::ktruss`]).
 #[derive(Debug, Clone, Copy)]
-pub struct KtrussSpec(());
+pub struct KtrussSpec<'g> {
+    /// Pre-built triangle setup supplied by [`Decomposition::with_ctx`];
+    /// `None` builds one inside `run`.
+    ctx: Option<&'g TriangleCtx>,
+}
 
 /// Problem selector for greedy densest subgraph (see
 /// [`Decomposition::densest`]).
@@ -169,15 +173,32 @@ impl<'g> Decomposition<'g, KcoreSpec> {
     }
 }
 
-impl<'g> Decomposition<'g, KtrussSpec> {
+impl<'g> Decomposition<'g, KtrussSpec<'g>> {
     /// k-truss decomposition of `g`: per-edge trussness.
     pub fn ktruss(g: &'g CsrGraph) -> Self {
-        Self::with(g, KtrussSpec(()))
+        Self::with(g, KtrussSpec { ctx: None })
+    }
+
+    /// Supplies a pre-built [`TriangleCtx`] (edge ids + supports +
+    /// orientation), so `run` goes straight to the peel — the setup
+    /// drops out of the critical path and one context can be reused
+    /// across several configurations.
+    ///
+    /// The context must have been built from the same graph passed to
+    /// [`Decomposition::ktruss`]; a mismatched context produces
+    /// meaningless trussness (or panics on out-of-range edge ids).
+    pub fn with_ctx(mut self, ctx: &'g TriangleCtx) -> Self {
+        self.problem.ctx = Some(ctx);
+        self
     }
 
     /// Runs the decomposition.
     pub fn run(self) -> TrussnessResult {
-        ktruss::run_ktruss(self.g, self.resolve(None))
+        let config = self.resolve(None);
+        match self.problem.ctx {
+            Some(ctx) => ktruss::run_ktruss_with_ctx(self.g, ctx, config),
+            None => ktruss::run_ktruss(self.g, config),
+        }
     }
 }
 

@@ -91,6 +91,8 @@ pub use decomposition::{
     ApproxDensestSpec, Decomposition, DensestSpec, KcoreSpec, KhCoreSpec, KtrussSpec,
 };
 pub use kcore_buckets::BucketStrategy;
+pub use kcore_graph::TriangleCtx;
+pub use kcore_parallel::intersect::TriKernel;
 pub use maintain::{DynamicGraph, MaintainStats, Version};
 pub use peel::{
     ElementState, Incidence, PeelEngine, PeelProblem, RecomputeRule, RoundAggregates, RoundPolicy,

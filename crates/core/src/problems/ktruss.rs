@@ -7,9 +7,19 @@
 //! belongs to the k-truss. Peeling computes it exactly like coreness:
 //! elements are undirected edges ([`kcore_graph::EdgeIndex`] provides
 //! the dense id space), the initial priority is the edge's triangle
-//! support ([`kcore_graph::triangles::edge_supports`]), and round `r`
-//! peels every edge whose surviving support is `r` — its trussness is
-//! `r + 2`.
+//! support, and round `r` peels every edge whose surviving support is
+//! `r` — its trussness is `r + 2`.
+//!
+//! Setup (edge ids + supports) comes from the fused
+//! [`TriangleCtx`] build over the degree-ordered orientation, whose
+//! discovery sweep dispatches the hybrid intersection kernels
+//! (`KCORE_TRI_KERNEL`). Per-death triangle enumeration walks the
+//! context's cached companion lists when materialized and re-derives
+//! them through the kernels otherwise; every kernel enumerates
+//! identically, so the decomposition is kernel-independent bit for
+//! bit. A context built once can be supplied via
+//! [`crate::Decomposition::with_ctx`], dropping setup out of the
+//! peel's critical path.
 //!
 //! The decrement rule is *not* a unit incidence: when edge `e` dies,
 //! the two other edges of each triangle through `e` lose one support
@@ -35,15 +45,14 @@ use crate::peel::engine::{
     ElementState, Incidence, PeelEngine, PeelProblem, SettleView, SnapshotRule,
 };
 use crate::Config;
-use kcore_graph::triangles::{edge_supports, for_each_triangle_of_edge};
-use kcore_graph::{CsrGraph, EdgeIndex};
+use kcore_graph::triangles::for_each_triangle_of_edge;
+use kcore_graph::{CsrGraph, EdgeIndex, TriangleCtx};
 use kcore_parallel::RunStats;
 
 /// The k-truss decomposition problem over one graph.
 struct KTrussProblem<'g> {
     g: &'g CsrGraph,
-    idx: &'g EdgeIndex,
-    supports: &'g [u32],
+    ctx: &'g TriangleCtx,
 }
 
 impl PeelProblem for KTrussProblem<'_> {
@@ -54,11 +63,11 @@ impl PeelProblem for KTrussProblem<'_> {
     }
 
     fn num_elements(&self) -> usize {
-        self.idx.num_edges()
+        self.ctx.num_edges()
     }
 
     fn init_priorities(&self) -> Vec<u32> {
-        self.supports.to_vec()
+        self.ctx.supports().to_vec()
     }
 
     fn incidence(&self) -> Incidence<'_> {
@@ -78,32 +87,40 @@ impl SnapshotRule for KTrussProblem<'_> {
         view: &SettleView<'_>,
         emit: &mut dyn FnMut(u32),
     ) {
-        for_each_triangle_of_edge(self.g, self.idx, e, |fe, ge, _w| {
-            match (view.state(fe), view.state(ge)) {
-                // Triangle already destroyed by an earlier death, which
-                // charged the survivors then.
-                (ElementState::Dead, _) | (_, ElementState::Dead) => {}
-                // All three edges die this subround: no survivor.
-                (ElementState::Peer, ElementState::Peer) => {}
-                // {e, fe} die together; the smaller id charges ge.
-                (ElementState::Peer, ElementState::Alive) => {
-                    if e < fe {
-                        emit(ge);
-                    }
-                }
-                // {e, ge} die together; the smaller id charges fe.
-                (ElementState::Alive, ElementState::Peer) => {
-                    if e < ge {
-                        emit(fe);
-                    }
-                }
-                // e is the only death: both survivors lose the triangle.
-                (ElementState::Alive, ElementState::Alive) => {
-                    emit(fe);
+        let mut consider = |fe: u32, ge: u32| match (view.state(fe), view.state(ge)) {
+            // Triangle already destroyed by an earlier death, which
+            // charged the survivors then.
+            (ElementState::Dead, _) | (_, ElementState::Dead) => {}
+            // All three edges die this subround: no survivor.
+            (ElementState::Peer, ElementState::Peer) => {}
+            // {e, fe} die together; the smaller id charges ge.
+            (ElementState::Peer, ElementState::Alive) => {
+                if e < fe {
                     emit(ge);
                 }
             }
-        });
+            // {e, ge} die together; the smaller id charges fe.
+            (ElementState::Alive, ElementState::Peer) => {
+                if e < ge {
+                    emit(fe);
+                }
+            }
+            // e is the only death: both survivors lose the triangle.
+            (ElementState::Alive, ElementState::Alive) => {
+                emit(fe);
+                emit(ge);
+            }
+        };
+        // The rule is order-insensitive over e's triangle set, so the
+        // cached flat list and the kernel enumeration are equivalent;
+        // the cache keeps re-intersection off the peel's critical path.
+        if let Some(triangles) = self.ctx.edge_triangles(e) {
+            for &[fe, ge] in triangles {
+                consider(fe, ge);
+            }
+        } else {
+            self.ctx.for_each_triangle_of_edge(self.g, e, |fe, ge, _w| consider(fe, ge));
+        }
     }
 }
 
@@ -119,14 +136,24 @@ pub struct KTruss {
 }
 
 /// Runs the k-truss decomposition with `config` exactly as given — the
-/// shared core behind [`crate::Decomposition::ktruss`].
+/// shared core behind [`crate::Decomposition::ktruss`]. Builds the
+/// fused triangle setup itself; callers that already hold a
+/// [`TriangleCtx`] use [`run_ktruss_with_ctx`].
 pub(crate) fn run_ktruss(g: &CsrGraph, config: Config) -> TrussnessResult {
-    let idx = EdgeIndex::build(g);
-    let supports = edge_supports(g, &idx);
-    let problem = KTrussProblem { g, idx: &idx, supports: &supports };
+    run_ktruss_with_ctx(g, &TriangleCtx::build(g), config)
+}
+
+/// Runs the k-truss peel over a pre-built triangle setup, keeping the
+/// orientation/supports build out of the measured critical path.
+pub(crate) fn run_ktruss_with_ctx(
+    g: &CsrGraph,
+    ctx: &TriangleCtx,
+    config: Config,
+) -> TrussnessResult {
+    let problem = KTrussProblem { g, ctx };
     let (rounds, stats) = PeelEngine::new(&problem, config).run();
     let trussness = rounds.into_iter().map(|r| r + 2).collect();
-    TrussnessResult { index: idx, trussness, stats }
+    TrussnessResult { index: ctx.edge_index().clone(), trussness, stats }
 }
 
 impl KTruss {

@@ -89,6 +89,14 @@ impl EdgeIndex {
         Self { arc_edge, endpoints }
     }
 
+    /// Assembles an index from pre-built arrays — the fused
+    /// orientation+index pass in [`crate::dodg`] mints ids in exactly
+    /// the order [`EdgeIndex::build`] would.
+    #[inline]
+    pub(crate) fn from_raw(arc_edge: Box<[u32]>, endpoints: Box<[[VertexId; 2]]>) -> Self {
+        Self { arc_edge, endpoints }
+    }
+
     /// Number of undirected edges (the size of the id space).
     #[inline]
     pub fn num_edges(&self) -> usize {

@@ -21,6 +21,11 @@
 //!   parallel triangle primitives that back *edge* peeling (k-truss):
 //!   dense undirected-edge ids over the CSR arcs, per-edge triangle
 //!   supports, and per-edge triangle enumeration.
+//! * [`dodg`] — the degree-ordered directed view ([`Dodg`]) and the
+//!   fused triangle setup ([`TriangleCtx`]): one parallel pass builds
+//!   the edge ids, the orientation, and the initial supports, and the
+//!   per-edge enumeration dispatches hybrid intersection kernels with
+//!   lazily built hub bitmaps.
 //!
 //! The paper's graphs reach terabyte scale; this crate targets
 //! laptop-scale analogs of the same families (see `DESIGN.md` §2 for the
@@ -28,6 +33,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod dodg;
 pub mod edges;
 pub mod gen;
 pub mod io;
@@ -37,6 +43,7 @@ pub mod triangles;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
+pub use dodg::{Dodg, TriangleCtx};
 pub use edges::EdgeIndex;
 pub use overlay::OverlayGraph;
 pub use stats::GraphStats;

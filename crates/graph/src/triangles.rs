@@ -8,9 +8,20 @@
 //! (they are tiny — `O(min(d(u), d(v)))`) and the parallelism is across
 //! the edge set, matching the flat fork–join model everywhere else in
 //! the workspace.
+//!
+//! [`edge_supports`] and [`for_each_triangle_of_edge`] here are the
+//! straightforward full-list merge implementations — kept as the
+//! *reference* the optimized path is checked against. Production
+//! triangle work (the k-truss setup and peel) runs through
+//! [`crate::dodg::TriangleCtx`]: the degree-ordered orientation, the
+//! fused one-pass index+supports build, and the hybrid
+//! merge/gallop/bitset kernels, all bit-identical to the functions in
+//! this module. [`triangle_count`] is already routed through the
+//! orientation.
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::edges::EdgeIndex;
+use kcore_parallel::intersect::TriKernel;
 use kcore_parallel::primitives::intersect_sorted_positions;
 use rayon::prelude::*;
 
@@ -44,12 +55,13 @@ where
     });
 }
 
-/// Total number of triangles in `g` (each counted once): every triangle
-/// contributes 1 to the support of each of its three edges.
-pub fn triangle_count(g: &CsrGraph, idx: &EdgeIndex) -> u64 {
-    let per_edge: u64 = edge_supports(g, idx).par_iter().map(|&s| s as u64).sum();
-    debug_assert_eq!(per_edge % 3, 0, "each triangle is counted by exactly 3 edges");
-    per_edge / 3
+/// Total number of triangles in `g`, each counted once: a parallel
+/// fold of out-list intersections over the degree-ordered orientation
+/// ([`crate::dodg::Dodg`]), so no per-edge array is materialized and
+/// no [`EdgeIndex`] is needed. Kernel selection follows
+/// `KCORE_TRI_KERNEL`.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    crate::dodg::Dodg::build(g).triangle_count(g, TriKernel::from_env())
 }
 
 #[cfg(test)]
@@ -73,18 +85,17 @@ mod tests {
     fn known_counts() {
         let idx = |g: &CsrGraph| EdgeIndex::build(g);
         let tri = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
-        assert_eq!(triangle_count(&tri, &idx(&tri)), 1);
+        assert_eq!(triangle_count(&tri), 1);
         assert_eq!(edge_supports(&tri, &idx(&tri)), vec![1, 1, 1]);
 
         // K5: C(5,3) = 10 triangles, every edge in 5 - 2 = 3 of them.
         let k5 = gen::complete(5);
-        let i5 = idx(&k5);
-        assert_eq!(triangle_count(&k5, &i5), 10);
-        assert!(edge_supports(&k5, &i5).iter().all(|&s| s == 3));
+        assert_eq!(triangle_count(&k5), 10);
+        assert!(edge_supports(&k5, &idx(&k5)).iter().all(|&s| s == 3));
 
         // Bipartite graphs and trees are triangle-free.
         let kb = gen::complete_bipartite(3, 4);
-        assert_eq!(triangle_count(&kb, &idx(&kb)), 0);
+        assert_eq!(triangle_count(&kb), 0);
         let path = gen::path(20);
         assert!(edge_supports(&path, &idx(&path)).iter().all(|&s| s == 0));
     }
@@ -97,8 +108,7 @@ mod tests {
             gen::planted_core(150, 2, 30, 4),
             gen::hcns(12),
         ] {
-            let idx = EdgeIndex::build(&g);
-            assert_eq!(triangle_count(&g, &idx), naive_triangle_count(&g));
+            assert_eq!(triangle_count(&g), naive_triangle_count(&g));
         }
     }
 

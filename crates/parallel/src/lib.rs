@@ -6,6 +6,10 @@
 //!
 //! * [`primitives`] — `pack`, prefix scans, and counting, the building
 //!   blocks the paper assumes in Sec. 2 (“Parallel Primitives”).
+//! * [`intersect`] — hybrid sorted-adjacency intersection kernels
+//!   (merge / galloping / packed-bitset probe) with a per-pair
+//!   dispatcher, the sequential core of triangle counting and k-truss
+//!   peeling; selection overridable via `KCORE_TRI_KERNEL`.
 //! * [`histogram`] — the `Histogram` primitive used by offline (Julienne
 //!   style) peeling, substituting a sort-based implementation for the
 //!   paper's parallel semisort.
@@ -25,6 +29,7 @@
 pub mod hashbag;
 pub mod histogram;
 pub mod instrument;
+pub mod intersect;
 pub mod pool;
 pub mod primitives;
 
