@@ -44,7 +44,8 @@ use crate::{
     ApproxDensestResult, Config, CorenessResult, DensestResult, KhCoreResult, TrussnessResult,
 };
 use kcore_buckets::BucketStrategy;
-use kcore_graph::{CsrGraph, TriangleCtx};
+use kcore_graph::{CsrGraph, GraphBackend, TriangleCtx};
+use std::fmt;
 
 /// Problem selector for k-core (see [`Decomposition::kcore`]).
 #[derive(Debug, Clone, Copy)]
@@ -84,17 +85,40 @@ pub struct ApproxDensestSpec {
 ///
 /// For a *maintained* k-core decomposition under edge batches, see
 /// [`crate::maintain::DynamicGraph`] instead.
-#[derive(Debug, Clone)]
+///
+/// The k-core and densest-subgraph selectors accept any
+/// [`GraphBackend`] (plain/mmapped CSR, [`kcore_graph::CompressedCsr`])
+/// — the backend defaults to [`CsrGraph`] and is inferred from the
+/// graph argument. Triangle-based problems (k-truss) and the BFS-ball
+/// problems (kh-core, approx-densest) require plain CSR.
 #[must_use = "a Decomposition does nothing until `run`"]
-pub struct Decomposition<'g, P> {
-    g: &'g CsrGraph,
+pub struct Decomposition<'g, P, G = CsrGraph> {
+    g: &'g G,
     problem: P,
     config: Config,
     exact: bool,
 }
 
-impl<'g, P> Decomposition<'g, P> {
-    fn with(g: &'g CsrGraph, problem: P) -> Self {
+// Manual impls: deriving would bound `G: Debug`/`G: Clone`, but only a
+// reference to `G` is held (and graphs are intentionally not `Clone`).
+impl<P: fmt::Debug, G> fmt::Debug for Decomposition<'_, P, G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Decomposition")
+            .field("problem", &self.problem)
+            .field("config", &self.config)
+            .field("exact", &self.exact)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Clone, G> Clone for Decomposition<'_, P, G> {
+    fn clone(&self) -> Self {
+        Self { g: self.g, problem: self.problem.clone(), config: self.config, exact: self.exact }
+    }
+}
+
+impl<'g, P, G> Decomposition<'g, P, G> {
+    fn with(g: &'g G, problem: P) -> Self {
         Self { g, problem, config: Config::default(), exact: false }
     }
 
@@ -153,9 +177,11 @@ impl<'g, P> Decomposition<'g, P> {
     }
 }
 
-impl<'g> Decomposition<'g, KcoreSpec> {
-    /// k-core decomposition of `g`: per-vertex coreness.
-    pub fn kcore(g: &'g CsrGraph) -> Self {
+impl<'g, G: GraphBackend> Decomposition<'g, KcoreSpec, G> {
+    /// k-core decomposition of `g`: per-vertex coreness. Accepts any
+    /// [`GraphBackend`]; the `KCORE_BACKEND` environment variable
+    /// re-encodes plain CSR inputs through the forced backend at `run`.
+    pub fn kcore(g: &'g G) -> Self {
         Self::with(g, KcoreSpec(()))
     }
 
@@ -202,9 +228,10 @@ impl<'g> Decomposition<'g, KtrussSpec<'g>> {
     }
 }
 
-impl<'g> Decomposition<'g, DensestSpec> {
+impl<'g, G: GraphBackend> Decomposition<'g, DensestSpec, G> {
     /// Charikar's greedy densest subgraph on `g` (a 2-approximation).
-    pub fn densest(g: &'g CsrGraph) -> Self {
+    /// Accepts any [`GraphBackend`], like [`Decomposition::kcore`].
+    pub fn densest(g: &'g G) -> Self {
         Self::with(g, DensestSpec(()))
     }
 

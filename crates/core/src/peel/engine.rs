@@ -65,7 +65,7 @@ use crate::config::PeelMode;
 use crate::Config;
 use kcore_buckets::{BucketStrategy, BucketStructure, HierarchicalBuckets, PriorityView};
 use kcore_check::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use kcore_graph::CsrGraph;
+use kcore_graph::GraphBackend;
 use kcore_obs::span;
 use kcore_parallel::primitives::pack_index;
 use kcore_parallel::{HashBag, RunStats, TechniqueCounters};
@@ -100,28 +100,60 @@ pub(crate) struct Polluted;
 /// settling costs `e` exactly one priority unit each (and vice versa —
 /// the relation is symmetric in every current client).
 ///
-/// For k-core this is the CSR adjacency itself ([`CsrGraph`] implements
-/// the trait), and a problem's priorities must start at
-/// `incident(e).len()` minus any units already absent.
+/// For k-core this is the graph adjacency itself (every
+/// [`GraphBackend`] implements the trait via the blanket impl below),
+/// and a problem's priorities must start at `num_incident(e)` minus any
+/// units already absent.
+///
+/// # Slice discipline
+///
+/// Decode-on-the-fly backends ([`kcore_graph::CompressedCsr`]) serve
+/// [`UnitIncidence::incident`] from per-thread scratch, so a caller may
+/// hold at most one `incident` slice per thread at a time. The engine's
+/// outer loops already do; nested scans (recounts inside a neighbor
+/// walk) and pure size queries must use
+/// [`UnitIncidence::for_each_incident`] /
+/// [`UnitIncidence::num_incident`], which never touch scratch.
 pub trait UnitIncidence: Sync {
-    /// Elements incident to `e`, in strictly increasing order.
+    /// Elements incident to `e`, in strictly increasing order. Hold at
+    /// most one returned slice per thread (see the trait docs).
     fn incident(&self, e: u32) -> &[u32];
-}
 
-impl UnitIncidence for CsrGraph {
+    /// Number of incident elements — O(1), no list materialization.
     #[inline]
-    fn incident(&self, v: u32) -> &[u32] {
-        self.neighbors(v)
+    fn num_incident(&self, e: u32) -> usize {
+        self.incident(e).len()
+    }
+
+    /// Streams the incident elements in increasing order without
+    /// materializing a slice; safe to nest inside an `incident` walk.
+    #[inline]
+    fn for_each_incident(&self, e: u32, f: &mut dyn FnMut(u32)) {
+        for &x in self.incident(e) {
+            f(x);
+        }
     }
 }
 
-// The delta overlay serves merged sorted adjacency slices, so the engine
-// peels the logical (base ± deltas) graph directly — the batch-dynamic
-// maintenance path never rebuilds a CSR just to re-peel.
-impl UnitIncidence for kcore_graph::OverlayGraph {
+// Every graph backend is a unit incidence: the adjacency itself.
+// This one impl covers `CsrGraph` (owned and mmapped), the delta
+// overlay (the engine peels the logical base ± deltas graph directly,
+// so batch-dynamic maintenance never rebuilds a CSR just to re-peel),
+// and the byte-compressed backend.
+impl<G: GraphBackend> UnitIncidence for G {
     #[inline]
     fn incident(&self, v: u32) -> &[u32] {
-        self.neighbors(v)
+        self.neighbors_slice(v)
+    }
+
+    #[inline]
+    fn num_incident(&self, v: u32) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_incident(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        self.for_each_neighbor(v, f);
     }
 }
 
@@ -569,7 +601,7 @@ fn online_unit<P: PeelProblem>(
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
-                let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                let arcs: usize = frontier.iter().map(|&v| inc.num_incident(v)).sum();
                 stats.work += (frontier.len() + arcs) as u64;
             }
             let ctx = OnlineCtx {
@@ -734,7 +766,7 @@ fn online_threshold<P: PeelProblem>(
             remaining -= frontier.len();
             if collect_stats {
                 stats.max_frontier = stats.max_frontier.max(frontier.len());
-                let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                let arcs: usize = frontier.iter().map(|&v| inc.num_incident(v)).sum();
                 stats.work += (frontier.len() + arcs) as u64;
             }
             let ctx = OnlineCtx {

@@ -106,7 +106,7 @@ pub(crate) fn run<P: PeelProblem>(
                 // below, which is the work they actually perform.
                 stats.work += frontier.len() as u64;
                 if let Incidence::Unit(inc) = incidence {
-                    let arcs: usize = frontier.iter().map(|&v| inc.incident(v).len()).sum();
+                    let arcs: usize = frontier.iter().map(|&v| inc.num_incident(v)).sum();
                     stats.work += arcs as u64;
                 }
             }
@@ -234,11 +234,13 @@ fn gather_live(inc: &dyn UnitIncidence, frontier: &[u32], settled: &[AtomicU32])
     let per_elem: Vec<Vec<u32>> = frontier
         .par_iter()
         .map(|&v| {
-            inc.incident(v)
-                .iter()
-                .copied()
-                .filter(|&u| settled[u as usize].load(Ordering::Relaxed) == UNSET)
-                .collect()
+            let mut live = Vec::new();
+            inc.for_each_incident(v, &mut |u| {
+                if settled[u as usize].load(Ordering::Relaxed) == UNSET {
+                    live.push(u);
+                }
+            });
+            live
         })
         .collect();
     flatten(per_elem)

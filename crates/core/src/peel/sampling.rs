@@ -132,12 +132,17 @@ impl SamplingState {
         let approx: Vec<AtomicU32> = (0..n as u32)
             .into_par_iter()
             .map(|v| {
-                let count = if init_priorities[v as usize] >= cfg.threshold {
-                    inc.incident(v).iter().filter(|&&u| edge_sampled(v, u, cfg.seed, mask)).count()
-                } else {
-                    0
-                };
-                AtomicU32::new(count as u32)
+                let mut count = 0u32;
+                if init_priorities[v as usize] >= cfg.threshold {
+                    // Streaming walk: no incident slice is held, so this
+                    // is safe on decode-on-the-fly backends.
+                    inc.for_each_incident(v, &mut |u| {
+                        if edge_sampled(v, u, cfg.seed, mask) {
+                            count += 1;
+                        }
+                    });
+                }
+                AtomicU32::new(count)
             })
             .collect();
         Some(Self { cfg, mask, log2_n, state, approx, sampled })
@@ -313,14 +318,18 @@ impl SamplingState {
     fn count_exact(&self, v: u32, inc: &dyn UnitIncidence, settled: &[AtomicU32]) -> (u32, u32) {
         let mut exact = 0u32;
         let mut fresh = 0u32;
-        for &w in inc.incident(v) {
+        // Streaming walk: recounts fire *inside* a neighbor walk of the
+        // peel loop (`on_neighbor_removed` → `recount_in_round`), so the
+        // outer `incident` slice is live — the buffer-free form is
+        // required here on decode-on-the-fly backends.
+        inc.for_each_incident(v, &mut |w| {
             if settled[w as usize].load(Ordering::Relaxed) == UNSET {
                 exact += 1;
                 if edge_sampled(v, w, self.cfg.seed, self.mask) {
                     fresh += 1;
                 }
             }
-        }
+        });
         (exact, fresh)
     }
 

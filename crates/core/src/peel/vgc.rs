@@ -78,7 +78,7 @@ pub(crate) fn peel_from<P: PeelProblem>(ctx: &OnlineCtx<'_, P>, v: u32, round: u
         match pending.pop() {
             Some(next) if chased < limit => {
                 chased += 1;
-                chased_work += 1 + ctx.inc.incident(next).len() as u64;
+                chased_work += 1 + ctx.inc.num_incident(next) as u64;
                 cur = next;
             }
             Some(next) => {

@@ -29,15 +29,16 @@
 
 use crate::peel::engine::{Incidence, PeelEngine, PeelProblem};
 use crate::Config;
-use kcore_graph::CsrGraph;
+use kcore_graph::{env_backend, BackendKind, CompressedCsr, CsrGraph, GraphBackend};
 use kcore_parallel::RunStats;
 
-/// The greedy densest-subgraph problem over one graph.
-struct DensestProblem<'g> {
-    g: &'g CsrGraph,
+/// The greedy densest-subgraph problem over one graph, generic over
+/// the adjacency backend.
+struct DensestProblem<'g, G = CsrGraph> {
+    g: &'g G,
 }
 
-impl PeelProblem for DensestProblem<'_> {
+impl<G: GraphBackend> PeelProblem for DensestProblem<'_, G> {
     type Output = DensestResult;
 
     fn name(&self) -> &'static str {
@@ -67,10 +68,10 @@ impl PeelProblem for DensestProblem<'_> {
             n_hist[c as usize] += 1;
         }
         let mut m_hist = vec![0u64; kmax + 2];
-        for (u, v) in self.g.edges() {
+        self.g.for_each_edge(&mut |u, v| {
             let lvl = coreness[u as usize].min(coreness[v as usize]) as usize;
             m_hist[lvl] += 1;
-        }
+        });
         // Suffix sums: n_at[k] / m_at[k] = standing counts at round k.
         let (mut n_at, mut m_at) = (0u64, 0u64);
         let mut densities = vec![0f64; kmax + 1];
@@ -103,10 +104,23 @@ pub struct DensestSubgraph {
     config: Config,
 }
 
+/// Runs greedy densest-subgraph extraction over exactly the backend
+/// given — no environment override.
+pub(crate) fn run_densest_on<G: GraphBackend>(g: &G, config: Config) -> DensestResult {
+    PeelEngine::new(&DensestProblem { g }, config).run()
+}
+
 /// Runs greedy densest-subgraph extraction with `config` exactly as
 /// given — the shared core behind [`crate::Decomposition::densest`].
-pub(crate) fn run_densest(g: &CsrGraph, config: Config) -> DensestResult {
-    PeelEngine::new(&DensestProblem { g }, config).run()
+/// A plain-CSR graph is re-encoded through the `KCORE_BACKEND`-forced
+/// backend first; any other backend runs as-is.
+pub(crate) fn run_densest<G: GraphBackend>(g: &G, config: Config) -> DensestResult {
+    if env_backend() == BackendKind::Compressed {
+        if let Some(plain) = g.as_plain() {
+            return run_densest_on(&CompressedCsr::from_graph(plain), config);
+        }
+    }
+    run_densest_on(g, config)
 }
 
 impl DensestSubgraph {

@@ -13,15 +13,16 @@ use crate::config::PeelMode;
 use crate::peel::engine::{Incidence, PeelEngine, PeelProblem};
 use crate::peel::offline;
 use crate::{Config, CorenessResult};
-use kcore_graph::CsrGraph;
+use kcore_graph::{env_backend, BackendKind, CompressedCsr, CsrGraph, GraphBackend};
 use kcore_parallel::RunStats;
 
-/// The k-core decomposition problem over one graph.
-pub(crate) struct KCoreProblem<'g> {
-    pub(crate) g: &'g CsrGraph,
+/// The k-core decomposition problem over one graph, generic over the
+/// adjacency backend (plain/mmapped CSR, overlay, compressed).
+pub(crate) struct KCoreProblem<'g, G = CsrGraph> {
+    pub(crate) g: &'g G,
 }
 
-impl PeelProblem for KCoreProblem<'_> {
+impl<G: GraphBackend> PeelProblem for KCoreProblem<'_, G> {
     type Output = CorenessResult;
 
     fn name(&self) -> &'static str {
@@ -45,11 +46,24 @@ impl PeelProblem for KCoreProblem<'_> {
     }
 }
 
+/// Runs the k-core decomposition over exactly the backend given —
+/// no environment override.
+pub(crate) fn run_kcore_on<G: GraphBackend>(g: &G, config: Config) -> CorenessResult {
+    PeelEngine::new(&KCoreProblem { g }, config).run()
+}
+
 /// Runs the k-core decomposition with `config` exactly as given — the
 /// shared core behind [`crate::Decomposition::kcore`] (env resolution
-/// happens in the builder).
-pub(crate) fn run_kcore(g: &CsrGraph, config: Config) -> CorenessResult {
-    PeelEngine::new(&KCoreProblem { g }, config).run()
+/// happens in the builder). A plain-CSR graph is re-encoded through the
+/// `KCORE_BACKEND`-forced backend first (CI's compressed leg); any
+/// other backend runs as-is.
+pub(crate) fn run_kcore<G: GraphBackend>(g: &G, config: Config) -> CorenessResult {
+    if env_backend() == BackendKind::Compressed {
+        if let Some(plain) = g.as_plain() {
+            return run_kcore_on(&CompressedCsr::from_graph(plain), config);
+        }
+    }
+    run_kcore_on(g, config)
 }
 
 /// Membership of the `k`-core (`true` = vertex has coreness `>= k`),
@@ -57,12 +71,19 @@ pub(crate) fn run_kcore(g: &CsrGraph, config: Config) -> CorenessResult {
 /// below `k` is extracted in one bulk range step and the cascade is
 /// driven by histogram decrements. Much cheaper than a full
 /// decomposition when only one core is needed (the serving path for
-/// "give me the k-core" queries).
-pub(crate) fn members(g: &CsrGraph, config: &Config, k: u32) -> Vec<bool> {
+/// "give me the k-core" queries). Applies the `KCORE_BACKEND` override
+/// like [`run_kcore`].
+pub(crate) fn members<G: GraphBackend>(g: &G, config: &Config, k: u32) -> Vec<bool> {
     let off = match config.techniques.mode {
         PeelMode::Offline(off) => off,
         PeelMode::Online => crate::config::Offline::default(),
     };
+    if env_backend() == BackendKind::Compressed {
+        if let Some(plain) = g.as_plain() {
+            let c = CompressedCsr::from_graph(plain);
+            return offline::range_membership(&c, &c.degrees(), k, off);
+        }
+    }
     offline::range_membership(g, &g.degrees(), k, off)
 }
 

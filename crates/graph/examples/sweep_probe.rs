@@ -1,0 +1,62 @@
+//! Quick decode-throughput probe for the compressed backend: times a
+//! full neighbor sweep over the same graph through the plain slice
+//! path, the compressed scratch-ring slice path, and the streaming
+//! `for_each_neighbor` path. Handy when tuning the varint decoder —
+//! the slice/foreach split shows whether per-call overhead or per-gap
+//! decode dominates.
+//!
+//! ```text
+//! cargo run --release -p kcore-graph --example sweep_probe
+//! ```
+
+use kcore_graph::{gen, CompressedCsr};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let g = gen::barabasi_albert(3000, 4, 42);
+    let c = CompressedCsr::from_graph(&g);
+    let n = g.num_vertices() as u32;
+
+    let time = |label: &str, f: &mut dyn FnMut() -> u64| {
+        for _ in 0..50 {
+            black_box(f());
+        }
+        let t = Instant::now();
+        let mut iters = 0u32;
+        while t.elapsed().as_millis() < 300 {
+            black_box(f());
+            iters += 1;
+        }
+        println!(
+            "{label:<22} {:>9} ns/iter ({iters} iters)",
+            t.elapsed().as_nanos() as u64 / u64::from(iters)
+        );
+    };
+
+    time("plain-slice", &mut || {
+        let mut acc = 0u64;
+        for v in 0..n {
+            for &w in g.neighbors(v) {
+                acc = acc.wrapping_add(u64::from(w));
+            }
+        }
+        acc
+    });
+    time("compressed-slice", &mut || {
+        let mut acc = 0u64;
+        for v in 0..n {
+            for &w in c.neighbors(v) {
+                acc = acc.wrapping_add(u64::from(w));
+            }
+        }
+        acc
+    });
+    time("compressed-foreach", &mut || {
+        let mut acc = 0u64;
+        for v in 0..n {
+            c.for_each_neighbor(v, &mut |w| acc = acc.wrapping_add(u64::from(w)));
+        }
+        acc
+    });
+}

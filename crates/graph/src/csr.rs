@@ -5,8 +5,18 @@
 //! arcs: every undirected edge `{u, v}` appears both as `u -> v` and
 //! `v -> u`. This matches the convention of the paper (directed inputs
 //! are symmetrized, and `m` counts arcs, as in GBBS / Ligra).
+//!
+//! The arrays live either on the heap (`Owned`, the normal case) or
+//! inside a read-only file mapping (`Mapped`, produced by
+//! [`crate::io::map_binary`]): the `KCOREGR1` binary layout puts both
+//! arrays on their natural alignment, so a mapped graph is a
+//! first-class `CsrGraph` — same API, same algorithms — whose pages
+//! the OS faults in lazily and can evict under pressure, which is what
+//! lets datasets larger than RAM peel at all.
 
+use crate::mmap::{MmapRegion, RawSlice};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Vertex identifier.
 ///
@@ -17,18 +27,29 @@ pub type VertexId = u32;
 
 /// An immutable undirected graph in compressed-sparse-row form.
 ///
-/// Construction goes through [`crate::GraphBuilder`], the generators in
-/// [`crate::gen`], or the readers in [`crate::io`]; all of them guarantee
-/// the structural invariants listed on [`CsrGraph::from_parts`].
+/// Construction goes through [`crate::GraphBuilder`] /
+/// [`crate::StreamBuilder`], the generators in [`crate::gen`], or the
+/// readers in [`crate::io`]; all of them guarantee the structural
+/// invariants listed on [`CsrGraph::from_parts`].
 // Serde derives were dropped with the offline dependency set; the
 // binary/text formats in `crate::io` cover (de)serialization needs.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct CsrGraph {
-    /// `offsets[v]..offsets[v + 1]` indexes `edges` with the neighbors of
-    /// `v`; has length `n + 1` and `offsets[n] == edges.len()`.
-    offsets: Box<[usize]>,
-    /// Concatenated, per-vertex-sorted adjacency lists (arcs).
-    edges: Box<[VertexId]>,
+    storage: Storage,
+}
+
+/// Where the CSR arrays live. `offsets[v]..offsets[v + 1]` indexes the
+/// edge array with the neighbors of `v`; offsets has length `n + 1`
+/// and ends at the arc count.
+#[derive(Clone)]
+enum Storage {
+    /// Heap-allocated arrays — everything built in-process.
+    Owned { offsets: Box<[usize]>, edges: Box<[VertexId]> },
+    /// Slices into a shared read-only file mapping. The on-disk `u64`
+    /// offsets alias `usize` directly (the mapped loader is gated to
+    /// 64-bit little-endian targets), so there is no decode step at
+    /// all — the file bytes *are* the working arrays.
+    Mapped { region: Arc<MmapRegion>, offsets: RawSlice<usize>, edges: RawSlice<VertexId> },
 }
 
 impl CsrGraph {
@@ -50,7 +71,12 @@ impl CsrGraph {
     /// input; this constructor is for generators that produce CSR form
     /// directly.
     pub fn from_parts(offsets: Vec<usize>, edges: Vec<VertexId>) -> Self {
-        let g = Self { offsets: offsets.into_boxed_slice(), edges: edges.into_boxed_slice() };
+        let g = Self {
+            storage: Storage::Owned {
+                offsets: offsets.into_boxed_slice(),
+                edges: edges.into_boxed_slice(),
+            },
+        };
         g.validate();
         g
     }
@@ -64,44 +90,86 @@ impl CsrGraph {
     /// return wrong corenesses.
     pub fn from_parts_unchecked(offsets: Vec<usize>, edges: Vec<VertexId>) -> Self {
         debug_assert!(!offsets.is_empty() && *offsets.last().unwrap() == edges.len());
-        Self { offsets: offsets.into_boxed_slice(), edges: edges.into_boxed_slice() }
+        Self {
+            storage: Storage::Owned {
+                offsets: offsets.into_boxed_slice(),
+                edges: edges.into_boxed_slice(),
+            },
+        }
+    }
+
+    /// Wraps pre-validated slices inside a file mapping (see
+    /// [`crate::io::map_binary`], which checks the header and section
+    /// bounds before calling this). Trusts content invariants exactly
+    /// like [`CsrGraph::from_parts_unchecked`].
+    pub(crate) fn from_mapped(
+        region: Arc<MmapRegion>,
+        offsets: RawSlice<usize>,
+        edges: RawSlice<VertexId>,
+    ) -> Self {
+        Self { storage: Storage::Mapped { region, offsets, edges } }
+    }
+
+    /// Whether this graph's arrays live in a read-only file mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.storage, Storage::Mapped { .. })
     }
 
     /// The empty graph (no vertices, no edges).
     pub fn empty() -> Self {
-        Self { offsets: vec![0].into_boxed_slice(), edges: Vec::new().into_boxed_slice() }
+        Self::from_parts_unchecked(vec![0], Vec::new())
+    }
+
+    /// The offsets array (`n + 1` entries, ends at the arc count).
+    #[inline]
+    fn offsets(&self) -> &[usize] {
+        match &self.storage {
+            Storage::Owned { offsets, .. } => offsets,
+            Storage::Mapped { offsets, .. } => offsets.as_slice(),
+        }
+    }
+
+    /// The concatenated per-vertex-sorted adjacency array.
+    #[inline]
+    fn edge_array(&self) -> &[VertexId] {
+        match &self.storage {
+            Storage::Owned { edges, .. } => edges,
+            Storage::Mapped { edges, .. } => edges.as_slice(),
+        }
     }
 
     /// Number of vertices `n`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Number of directed arcs `m` (twice the number of undirected edges).
     #[inline]
     pub fn num_arcs(&self) -> usize {
-        self.edges.len()
+        self.edge_array().len()
     }
 
     /// Number of undirected edges (`num_arcs / 2`).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.len() / 2
+        self.edge_array().len() / 2
     }
 
     /// Degree of vertex `v` in the original graph.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        let offsets = self.offsets();
+        offsets[v + 1] - offsets[v]
     }
 
     /// The sorted neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
-        &self.edges[self.offsets[v]..self.offsets[v + 1]]
+        let offsets = self.offsets();
+        &self.edge_array()[offsets[v]..offsets[v + 1]]
     }
 
     /// The range of arc positions belonging to `v` — indexes any array
@@ -110,7 +178,8 @@ impl CsrGraph {
     #[inline]
     pub fn arc_range(&self, v: VertexId) -> std::ops::Range<usize> {
         let v = v as usize;
-        self.offsets[v]..self.offsets[v + 1]
+        let offsets = self.offsets();
+        offsets[v]..offsets[v + 1]
     }
 
     /// Whether the undirected edge `{u, v}` is present (binary search).
@@ -194,17 +263,15 @@ impl CsrGraph {
     /// the first violation. Used by [`CsrGraph::from_parts`] and tests.
     pub fn validate(&self) {
         let n = self.num_vertices();
-        assert_eq!(self.offsets[0], 0, "offsets must start at 0");
+        let offsets = self.offsets();
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
-            *self.offsets.last().unwrap(),
-            self.edges.len(),
+            *offsets.last().unwrap(),
+            self.edge_array().len(),
             "offsets must end at the arc count"
         );
         for v in 0..n {
-            assert!(
-                self.offsets[v] <= self.offsets[v + 1],
-                "offsets must be non-decreasing at vertex {v}"
-            );
+            assert!(offsets[v] <= offsets[v + 1], "offsets must be non-decreasing at vertex {v}");
             let nbrs = self.neighbors(v as VertexId);
             for w in nbrs.windows(2) {
                 assert!(
@@ -227,13 +294,72 @@ impl CsrGraph {
     }
 }
 
+impl crate::backend::GraphBackend for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.num_arcs()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn neighbors_slice(&self, v: VertexId) -> &[VertexId] {
+        self.neighbors(v)
+    }
+
+    fn memory(&self) -> crate::stats::MemoryFootprint {
+        crate::stats::MemoryFootprint {
+            backend: if self.is_mapped() { "csr-mmap" } else { "csr" },
+            offsets_bytes: std::mem::size_of_val(self.offsets()),
+            neighbor_bytes: self.num_arcs() * std::mem::size_of::<VertexId>(),
+            aux_bytes: 0,
+            arcs: self.num_arcs(),
+        }
+    }
+
+    fn as_plain(&self) -> Option<&CsrGraph> {
+        Some(self)
+    }
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Storage flavor is irrelevant: a mapped graph equals its
+        // owned twin.
+        self.offsets() == other.offsets() && self.edge_array() == other.edge_array()
+    }
+}
+
+impl Eq for CsrGraph {}
+
 impl std::fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CsrGraph")
             .field("n", &self.num_vertices())
             .field("arcs", &self.num_arcs())
             .field("max_degree", &self.max_degree())
+            .field("mapped", &self.is_mapped())
             .finish()
+    }
+}
+
+// Keep the `region` field from tripping the dead-code lint: it exists
+// purely to own the mapping for the raw slices' lifetime.
+impl Storage {
+    #[allow(dead_code)]
+    fn region(&self) -> Option<&Arc<MmapRegion>> {
+        match self {
+            Storage::Owned { .. } => None,
+            Storage::Mapped { region, .. } => Some(region),
+        }
     }
 }
 
@@ -305,6 +431,18 @@ mod tests {
         let (sub, back) = g.induced_subgraph(&[true; 3]);
         assert_eq!(back, vec![0, 1, 2]);
         assert_eq!(sub, g);
+    }
+
+    #[test]
+    fn memory_footprint_counts_both_arrays() {
+        use crate::backend::GraphBackend;
+        let g = triangle();
+        let m = GraphBackend::memory(&g);
+        assert_eq!(m.offsets_bytes, 4 * std::mem::size_of::<usize>());
+        assert_eq!(m.neighbor_bytes, 6 * 4);
+        assert_eq!(m.aux_bytes, 0);
+        assert_eq!(m.total_bytes(), m.offsets_bytes + m.neighbor_bytes);
+        assert!((m.bytes_per_edge() - m.total_bytes() as f64 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,20 +1,33 @@
-//! Graph serialization: edge-list text, adjacency-graph text, and a
-//! compact binary format.
+//! Graph serialization: edge-list text, adjacency-graph text, and two
+//! binary formats (plain and compressed) with zero-copy mmap loading.
 //!
 //! * **Edge list** — one `u v` pair per line, `#`-prefixed comments;
-//!   the interchange format of SNAP and most graph repositories.
+//!   the interchange format of SNAP and most graph repositories. The
+//!   reader streams through [`StreamBuilder`] in bounded shards and
+//!   understands SNAP `# Nodes: n Edges: m` and KONECT `% m n1 n2`
+//!   header hints.
 //! * **Adjacency graph** — the Ligra/GBBS `AdjacencyGraph` text format
 //!   (header, n, m, offsets, edges), so graphs generated here can be fed
 //!   to the original GBBS/Julienne binaries and vice versa.
-//! * **Binary** — a little-endian dump of the CSR arrays with a magic
-//!   header; the fastest way to cache generated benchmark inputs.
+//! * **`KCOREGR1` binary** — a little-endian dump of the plain CSR
+//!   arrays. The layout is mmap-friendly: the 24-byte header leaves the
+//!   `u64` offsets and `u32` edges on their natural alignment, so
+//!   [`map_binary`] serves the file bytes directly as a [`CsrGraph`]
+//!   with no decode or copy.
+//! * **`KCOREGC1` binary** — the same idea for [`CompressedCsr`]: a
+//!   32-byte header, `u64` byte-offsets, `u32` degrees, then the varint
+//!   blocks. [`map_compressed`] maps it zero-copy.
 
-use crate::builder::GraphBuilder;
+use crate::builder::StreamBuilder;
+use crate::compressed::CompressedCsr;
 use crate::csr::{CsrGraph, VertexId};
+use crate::mmap::{MmapRegion, RawSlice};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const BINARY_MAGIC: &[u8; 8] = b"KCOREGR1";
+const COMPRESSED_MAGIC: &[u8; 8] = b"KCOREGC1";
 
 /// Writes `g` as an edge list (`u v` per line, each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
@@ -26,17 +39,53 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads an edge list. Lines starting with `#` or `%` are comments;
-/// blank lines are skipped. `n` is inferred as `max id + 1` unless a
-/// larger `min_vertices` is given.
+/// Parses SNAP (`# Nodes: n Edges: m`) and KONECT (`% m n1 n2`) comment
+/// headers for a vertex-count hint; returns `None` for ordinary
+/// comments.
+fn header_vertex_hint(comment: &str) -> Option<usize> {
+    let body = comment.trim_start_matches(['#', '%']).trim();
+    if comment.starts_with('#') {
+        // SNAP: "... Nodes: 75879 Edges: 508837 ..."
+        let mut it = body.split_whitespace();
+        while let Some(tok) = it.next() {
+            if tok.eq_ignore_ascii_case("nodes:") {
+                return it.next()?.parse().ok();
+            }
+        }
+        None
+    } else {
+        // KONECT size line: "% m n1 n2" (edge count, then the two
+        // dimension sizes; for undirected graphs both are n).
+        let nums: Vec<usize> =
+            body.split_whitespace().map(str::parse).collect::<Result<_, _>>().ok()?;
+        match nums[..] {
+            [_m, n1, n2] => Some(n1.max(n2)),
+            _ => None,
+        }
+    }
+}
+
+/// Reads an edge list, streaming through [`StreamBuilder`] in bounded
+/// shards — peak transient memory is one shard, not the whole arc list.
+///
+/// Lines starting with `#` or `%` are comments; SNAP `# Nodes: n` and
+/// KONECT `% m n1 n2` headers pre-size the vertex count. Blank lines
+/// are skipped. `n` is inferred as `max id + 1` unless the header hint
+/// or `min_vertices` is larger.
 pub fn read_edge_list<R: Read>(r: R, min_vertices: usize) -> io::Result<CsrGraph> {
     let r = BufReader::new(r);
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut max_id: usize = 0;
+    let mut b = StreamBuilder::growable();
+    b.reserve_vertices(min_vertices);
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('#') || t.starts_with('%') {
+            if let Some(n) = header_vertex_hint(t) {
+                b.reserve_vertices(n);
+            }
             continue;
         }
         let mut it = t.split_whitespace();
@@ -50,11 +99,9 @@ pub fn read_edge_list<R: Read>(r: R, min_vertices: usize) -> io::Result<CsrGraph
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
-        max_id = max_id.max(u as usize).max(v as usize);
-        edges.push((u, v));
+        b.push_edge(u, v);
     }
-    let n = if edges.is_empty() { min_vertices } else { (max_id + 1).max(min_vertices) };
-    Ok(GraphBuilder::new(n).edges(edges).build())
+    Ok(b.build())
 }
 
 /// Writes `g` in the Ligra/GBBS `AdjacencyGraph` text format.
@@ -108,8 +155,9 @@ pub fn read_adjacency_graph<R: Read>(r: R) -> io::Result<CsrGraph> {
     Ok(CsrGraph::from_parts(offsets, edges))
 }
 
-/// Writes `g` in the compact binary format (`KCOREGR1` magic, u64 n and
-/// m, u64 offsets, u32 edges; little-endian).
+/// Writes `g` in the compact binary format: `KCOREGR1` magic, u64 n and
+/// m, (n+1) u64 offsets, m u32 edges; little-endian. The 24-byte header
+/// keeps both arrays naturally aligned for [`map_binary`].
 pub fn write_binary<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     w.write_all(BINARY_MAGIC)?;
@@ -170,6 +218,173 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
     read_binary(std::fs::File::open(path)?)
 }
 
+/// Memory-maps a `KCOREGR1` file as a zero-copy [`CsrGraph`].
+///
+/// The CSR arrays point straight into the read-only mapping: nothing is
+/// decoded or copied, pages fault in lazily, and the OS can evict them
+/// under pressure — datasets larger than RAM stay loadable. On targets
+/// where the on-disk `u64` arrays cannot alias `usize` (non-64-bit or
+/// big-endian) or without `mmap` (non-Unix), this transparently falls
+/// back to the copying [`load_binary`].
+pub fn map_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    map_binary_impl(path.as_ref())
+}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn map_binary_impl(path: &Path) -> io::Result<CsrGraph> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let region = Arc::new(MmapRegion::map_file(&std::fs::File::open(path)?)?);
+    let bytes = region.bytes();
+    if bytes.len() < 24 || &bytes[..8] != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let m = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    // On-disk u64 aliases usize here (the cfg gate above); RawSlice
+    // checks bounds and alignment, turning truncation into an error.
+    let offsets = RawSlice::<usize>::from_bytes(bytes, 24, n + 1)
+        .ok_or_else(|| bad("truncated offset section"))?;
+    let edges = RawSlice::<VertexId>::from_bytes(bytes, 24 + 8 * (n + 1), m)
+        .ok_or_else(|| bad("truncated edge section"))?;
+    if offsets.as_slice().last() != Some(&m) {
+        return Err(bad("offset/edge count mismatch"));
+    }
+    Ok(CsrGraph::from_mapped(region, offsets, edges))
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+fn map_binary_impl(path: &Path) -> io::Result<CsrGraph> {
+    load_binary(path)
+}
+
+/// Writes `c` in the compressed binary format: `KCOREGC1` magic, u64 n,
+/// u64 arcs, u64 block-section length (a 32-byte header), then (n+1)
+/// u64 byte-offsets, n u32 degrees, the varint blocks, and 8 zero pad
+/// bytes (the decoder's over-read margin — see
+/// `compressed::BLOCK_PAD`); little-endian. Every section lands on its
+/// natural alignment for [`map_compressed`].
+pub fn write_compressed<W: Write>(c: &CompressedCsr, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(COMPRESSED_MAGIC)?;
+    w.write_all(&(c.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(c.num_arcs() as u64).to_le_bytes())?;
+    w.write_all(&(c.blocks().len() as u64).to_le_bytes())?;
+    for &off in c.offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &d in c.degree_table() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    w.write_all(c.blocks())?;
+    w.write_all(&[0u8; crate::compressed::BLOCK_PAD])?;
+    w.flush()
+}
+
+/// Reads the compressed binary format written by [`write_compressed`].
+pub fn read_compressed<R: Read>(r: R) -> io::Result<CompressedCsr> {
+    let mut r = BufReader::new(r);
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != COMPRESSED_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let arcs = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let blocks_len = u64::from_le_bytes(b8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut b8)?;
+        offsets.push(u64::from_le_bytes(b8) as usize);
+    }
+    if offsets.last() != Some(&blocks_len) {
+        return Err(bad("offset/block length mismatch"));
+    }
+    let mut degrees = Vec::with_capacity(n);
+    let mut b4 = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b4)?;
+        degrees.push(u32::from_le_bytes(b4));
+    }
+    if degrees.iter().map(|&d| d as usize).sum::<usize>() != arcs {
+        return Err(bad("degree/arc count mismatch"));
+    }
+    let mut blocks = vec![0u8; blocks_len];
+    r.read_exact(&mut blocks)?;
+    let mut pad = [0u8; crate::compressed::BLOCK_PAD];
+    r.read_exact(&mut pad).map_err(|_| bad("missing block pad section"))?;
+    // Full block validation up front: the peel-loop decoder reads the
+    // blocks unchecked, so untrusted bytes must be proven well-formed
+    // before they are trusted.
+    crate::compressed::validate_blocks(&offsets, &degrees, &blocks)
+        .map_err(|e| bad(&format!("malformed block section: {e}")))?;
+    Ok(CompressedCsr::from_parts_unchecked(arcs, offsets, degrees, blocks))
+}
+
+/// Convenience: writes the compressed format to a file path.
+pub fn save_compressed<P: AsRef<Path>>(c: &CompressedCsr, path: P) -> io::Result<()> {
+    write_compressed(c, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads the compressed format from a file path.
+pub fn load_compressed<P: AsRef<Path>>(path: P) -> io::Result<CompressedCsr> {
+    read_compressed(std::fs::File::open(path)?)
+}
+
+/// Memory-maps a `KCOREGC1` file as a zero-copy [`CompressedCsr`] —
+/// offsets, degrees, and varint blocks all point into the mapping.
+/// Falls back to the copying [`load_compressed`] on targets without
+/// zero-copy support (see [`map_binary`]).
+pub fn map_compressed<P: AsRef<Path>>(path: P) -> io::Result<CompressedCsr> {
+    map_compressed_impl(path.as_ref())
+}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn map_compressed_impl(path: &Path) -> io::Result<CompressedCsr> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let region = Arc::new(MmapRegion::map_file(&std::fs::File::open(path)?)?);
+    let bytes = region.bytes();
+    if bytes.len() < 32 || &bytes[..8] != COMPRESSED_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let arcs = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let blocks_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    let offsets = RawSlice::<usize>::from_bytes(bytes, 32, n + 1)
+        .ok_or_else(|| bad("truncated offset section"))?;
+    let degrees_at = 32 + 8 * (n + 1);
+    let degrees = RawSlice::<u32>::from_bytes(bytes, degrees_at, n)
+        .ok_or_else(|| bad("truncated degree section"))?;
+    let blocks_at = degrees_at + 4 * n;
+    let blocks = RawSlice::<u8>::from_bytes(bytes, blocks_at, blocks_len)
+        .ok_or_else(|| bad("truncated block section"))?;
+    // The decoder may read one byte past the blocks; the format's pad
+    // bytes must be inside the mapping to keep that load backed.
+    if bytes.len() < blocks_at + blocks_len + crate::compressed::BLOCK_PAD {
+        return Err(bad("missing block pad section"));
+    }
+    if offsets.as_slice().last() != Some(&blocks_len) {
+        return Err(bad("offset/block length mismatch"));
+    }
+    if degrees.as_slice().iter().map(|&d| d as usize).sum::<usize>() != arcs {
+        return Err(bad("degree/arc count mismatch"));
+    }
+    // Same up-front validation as the copying reader: the unchecked
+    // hot-path decoder must never see a malformed mapped block.
+    crate::compressed::validate_blocks(offsets.as_slice(), degrees.as_slice(), blocks.as_slice())
+        .map_err(|e| bad(&format!("malformed block section: {e}")))?;
+    Ok(CompressedCsr::from_mapped(region, arcs, offsets, degrees, blocks))
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+fn map_compressed_impl(path: &Path) -> io::Result<CompressedCsr> {
+    load_compressed(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +392,12 @@ mod tests {
 
     fn sample() -> CsrGraph {
         gen::mesh(7, 9)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kcore_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
     }
 
     #[test]
@@ -190,7 +411,7 @@ mod tests {
 
     #[test]
     fn edge_list_reader_handles_comments_and_blanks() {
-        let text = "# comment\n\n0 1\n% another\n1 2\n";
+        let text = "# comment\n\n0 1\n% another comment\n1 2\n";
         let g = read_edge_list(text.as_bytes(), 0).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
@@ -200,6 +421,24 @@ mod tests {
     fn edge_list_reader_rejects_garbage() {
         assert!(read_edge_list("0 x\n".as_bytes(), 0).is_err());
         assert!(read_edge_list("0\n".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn edge_list_snap_header_sizes_vertices() {
+        // SNAP-style header declares more vertices than the edges touch.
+        let text = "# Directed graph (each unordered pair of nodes is saved once)\n\
+                    # Nodes: 7 Edges: 2\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_konect_header_sizes_vertices() {
+        let text = "% sym unweighted\n% 2 6 6\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]
@@ -236,12 +475,97 @@ mod tests {
     #[test]
     fn binary_file_round_trip() {
         let g = sample();
-        let dir = std::env::temp_dir().join("kcore_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("mesh.bin");
+        let path = temp_path("mesh.bin");
         save_binary(&g, &path).unwrap();
         let h = load_binary(&path).unwrap();
         assert_eq!(g, h);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_binary_equals_loaded() {
+        let g = gen::barabasi_albert(400, 3, 9);
+        let path = temp_path("mapped.bin");
+        save_binary(&g, &path).unwrap();
+        let mapped = map_binary(&path).unwrap();
+        assert_eq!(mapped, g);
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        assert!(mapped.is_mapped());
+        mapped.validate();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_binary_rejects_truncation_and_bad_magic() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let full = temp_path("trunc_full.bin");
+        std::fs::write(&full, &buf).unwrap();
+        assert!(map_binary(&full).is_ok());
+
+        let truncated = temp_path("trunc_cut.bin");
+        std::fs::write(&truncated, &buf[..buf.len() - 3]).unwrap();
+        assert!(map_binary(&truncated).is_err(), "truncated edge section must fail");
+
+        let header_only = temp_path("trunc_header.bin");
+        std::fs::write(&header_only, &buf[..10]).unwrap();
+        assert!(map_binary(&header_only).is_err(), "truncated header must fail");
+
+        let mut corrupt = buf.clone();
+        corrupt[0] = b'X';
+        let bad_magic = temp_path("trunc_magic.bin");
+        std::fs::write(&bad_magic, &corrupt).unwrap();
+        assert!(map_binary(&bad_magic).is_err(), "corrupt magic must fail");
+
+        for p in [full, truncated, header_only, bad_magic] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let g = gen::barabasi_albert(300, 4, 2);
+        let c = CompressedCsr::from_graph(&g);
+        let mut buf = Vec::new();
+        write_compressed(&c, &mut buf).unwrap();
+        let d = read_compressed(&buf[..]).unwrap();
+        assert_eq!(d.decompress(), g);
+    }
+
+    #[test]
+    fn compressed_rejects_bad_magic_and_truncation() {
+        let c = CompressedCsr::from_graph(&sample());
+        let mut buf = Vec::new();
+        write_compressed(&c, &mut buf).unwrap();
+        let mut corrupt = buf.clone();
+        corrupt[3] = b'?';
+        assert!(read_compressed(&corrupt[..]).is_err());
+        assert!(read_compressed(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn mapped_compressed_equals_original() {
+        let g = gen::rmat(8, 10, 0.55, 0.2, 0.2, 4);
+        let c = CompressedCsr::from_graph(&g);
+        let path = temp_path("mapped.cgr");
+        save_compressed(&c, &path).unwrap();
+        let mapped = map_compressed(&path).unwrap();
+        assert_eq!(mapped.num_arcs(), g.num_arcs());
+        assert_eq!(mapped.decompress(), g);
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        assert!(mapped.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_compressed_rejects_truncation() {
+        let c = CompressedCsr::from_graph(&sample());
+        let mut buf = Vec::new();
+        write_compressed(&c, &mut buf).unwrap();
+        let cut = temp_path("cut.cgr");
+        std::fs::write(&cut, &buf[..buf.len() - 2]).unwrap();
+        assert!(map_compressed(&cut).is_err());
+        let _ = std::fs::remove_file(&cut);
     }
 }

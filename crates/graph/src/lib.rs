@@ -4,9 +4,20 @@
 //! the input side:
 //!
 //! * [`CsrGraph`] — an immutable, cache-friendly compressed-sparse-row
-//!   representation of an undirected graph (stored as symmetric arcs).
+//!   representation of an undirected graph (stored as symmetric arcs),
+//!   heap-allocated or pointing zero-copy into a read-only file mapping.
 //! * [`GraphBuilder`] — turns arbitrary edge lists into a [`CsrGraph`],
 //!   symmetrizing, deduplicating, and dropping self-loops along the way.
+//! * [`StreamBuilder`] — the large-input ingestion path: bounded edge
+//!   shards finished by a parallel counting sort, so building never
+//!   holds one giant arc vector.
+//! * [`GraphBackend`] — the storage seam the peel algorithms run over:
+//!   plain CSR, the [`OverlayGraph`] delta view, or the Ligra+-style
+//!   delta+varint [`CompressedCsr`] (selected in CI via the
+//!   `KCORE_BACKEND` env override, see [`env_backend`]). The
+//!   triangle-side types ([`Dodg`], [`TriangleCtx`], [`EdgeIndex`])
+//!   intentionally keep requiring the plain backend — their kernels
+//!   lean on random access into raw arc arrays.
 //! * [`OverlayGraph`] — a mutable edge-delta overlay over an immutable
 //!   CSR base, with threshold compaction through the parallel builder;
 //!   the logical-graph type behind batch-dynamic maintenance.
@@ -31,19 +42,25 @@
 //! laptop-scale analogs of the same families (see `DESIGN.md` §2 for the
 //! substitution argument), so vertex ids are [`u32`].
 
+pub mod backend;
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod dodg;
 pub mod edges;
 pub mod gen;
 pub mod io;
+pub mod mmap;
 pub mod overlay;
 pub mod stats;
 pub mod triangles;
 
-pub use builder::GraphBuilder;
+pub use backend::{env_backend, BackendKind, GraphBackend};
+pub use builder::{GraphBuilder, StreamBuilder};
+pub use compressed::CompressedCsr;
 pub use csr::{CsrGraph, VertexId};
 pub use dodg::{Dodg, TriangleCtx};
 pub use edges::EdgeIndex;
+pub use mmap::MmapRegion;
 pub use overlay::OverlayGraph;
-pub use stats::GraphStats;
+pub use stats::{GraphStats, MemoryFootprint};

@@ -208,6 +208,43 @@ impl OverlayGraph {
     }
 }
 
+impl crate::backend::GraphBackend for OverlayGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.num_arcs()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn neighbors_slice(&self, v: VertexId) -> &[VertexId] {
+        self.neighbors(v)
+    }
+
+    fn memory(&self) -> crate::stats::MemoryFootprint {
+        let base = crate::backend::GraphBackend::memory(&self.base);
+        // Delta layer: one Option slot per logical vertex plus the
+        // materialized lists (capacity unknown; count live arcs).
+        let aux = self.touched.len() * std::mem::size_of::<Option<Vec<VertexId>>>()
+            + self.overlay_arcs * std::mem::size_of::<VertexId>();
+        crate::stats::MemoryFootprint {
+            backend: "overlay",
+            offsets_bytes: base.offsets_bytes,
+            neighbor_bytes: base.neighbor_bytes,
+            aux_bytes: base.aux_bytes + aux,
+            arcs: self.num_arcs(),
+        }
+    }
+}
+
 impl std::fmt::Debug for OverlayGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OverlayGraph")

@@ -1,11 +1,78 @@
-//! Degree statistics for benchmark tables.
+//! Degree statistics and memory accounting for benchmark tables.
 //!
 //! The paper's Tab. 2 reports `n`, `m`, `k_max`, and the peeling
 //! complexity ρ per graph. `k_max` and ρ come from running the
-//! decomposition itself; everything degree-shaped lives here.
+//! decomposition itself; everything degree-shaped lives here, plus the
+//! [`MemoryFootprint`] report every [`crate::GraphBackend`] produces so
+//! bytes-per-edge is a tracked number rather than a guess.
 
+use crate::backend::GraphBackend;
 use crate::csr::{CsrGraph, VertexId};
 use rayon::prelude::*;
+
+/// Byte-level memory accounting of one graph backend.
+///
+/// Produced by [`GraphBackend::memory`]; `bench_build` prints it and the
+/// compression acceptance criterion (≥30% fewer neighbor bytes on
+/// power-law graphs) is checked against `neighbor_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryFootprint {
+    /// Short backend name (`"csr"`, `"csr-mmap"`, `"compressed"`, ...).
+    pub backend: &'static str,
+    /// Bytes in the per-vertex offset array.
+    pub offsets_bytes: usize,
+    /// Bytes holding the adjacency itself — plain `u32` targets for the
+    /// CSR backends, varint blocks for the compressed one. This is the
+    /// number compression shrinks.
+    pub neighbor_bytes: usize,
+    /// Everything else the backend keeps per graph (degree tables,
+    /// overlay delta maps, ...).
+    pub aux_bytes: usize,
+    /// Directed arc count, for the per-edge ratios.
+    pub arcs: usize,
+}
+
+impl MemoryFootprint {
+    /// Total bytes across all sections.
+    pub fn total_bytes(&self) -> usize {
+        self.offsets_bytes + self.neighbor_bytes + self.aux_bytes
+    }
+
+    /// Total bytes per undirected edge; 0.0 for edgeless graphs.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.arcs == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / (self.arcs as f64 / 2.0)
+        }
+    }
+
+    /// Neighbor-section bytes per arc — the Ligra+-style compression
+    /// headline number (plain CSR is exactly 4.0).
+    pub fn neighbor_bytes_per_arc(&self) -> f64 {
+        if self.arcs == 0 {
+            0.0
+        } else {
+            self.neighbor_bytes as f64 / self.arcs as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} B total ({} offsets + {} neighbors + {} aux), {:.2} B/edge, {:.2} nbr-B/arc",
+            self.backend,
+            self.total_bytes(),
+            self.offsets_bytes,
+            self.neighbor_bytes,
+            self.aux_bytes,
+            self.bytes_per_edge(),
+            self.neighbor_bytes_per_arc(),
+        )
+    }
+}
 
 /// Summary statistics of a graph's degree structure.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +94,13 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
+    /// The memory footprint of any backend — a convenience forwarding
+    /// to [`GraphBackend::memory`] so stats and memory reporting live
+    /// in one module.
+    pub fn memory<G: GraphBackend + ?Sized>(g: &G) -> MemoryFootprint {
+        g.memory()
+    }
+
     /// Computes statistics for `g` in one parallel pass plus a sort.
     pub fn compute(g: &CsrGraph) -> Self {
         let n = g.num_vertices();

@@ -8,14 +8,25 @@
 //! to keep `cargo bench` runnable offline; swap in the real criterion
 //! via the workspace `[workspace.dependencies]` entry for real numbers.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const WARMUP_ITERS: u64 = 3;
-const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 const MAX_ITERS: u64 = 10_000;
+
+/// Per-benchmark wall-clock budget: `KCORE_BENCH_BUDGET_MS` env
+/// override, default 300ms. Raise it when comparing close pairs whose
+/// per-iteration time leaves the default with only a handful of
+/// samples (e.g. the ingest A/B in `bench_build`).
+fn measure_budget() -> Duration {
+    static MS: OnceLock<u64> = OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("KCORE_BENCH_BUDGET_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(300)
+    });
+    Duration::from_millis(ms)
+}
 
 /// One completed benchmark measurement.
 #[derive(Debug, Clone)]
@@ -91,9 +102,10 @@ impl Bencher {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
+        let budget = measure_budget();
         let start = Instant::now();
         let mut iters = 0u64;
-        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+        while start.elapsed() < budget && iters < MAX_ITERS {
             black_box(routine());
             iters += 1;
         }
